@@ -1,0 +1,111 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation. Each experiment prints the same rows or series the paper
+// reports; EXPERIMENTS.md records a reference run.
+//
+// Usage:
+//
+//	repro [-instructions N] [-warmup N] [-parallel N] [-only list]
+//
+// -only selects a comma-separated subset of:
+//
+//	table1, fig4, fig5, predictors, fig9-10, fig11-12, fig13-14,
+//	fig15-16, fig17-18, fig20-21, fig22-23
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"smtmlp/internal/bench"
+	"smtmlp/internal/experiments"
+	"smtmlp/internal/sim"
+)
+
+func main() {
+	instructions := flag.Uint64("instructions", 300_000, "per-thread instruction budget (the paper uses 200M)")
+	warmup := flag.Uint64("warmup", 0, "warm-up instructions before measurement (0 = budget/4)")
+	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	only := flag.String("only", "", "comma-separated experiment subset (empty = all)")
+	flag.Parse()
+
+	runner := sim.NewRunner(sim.Params{
+		Instructions: *instructions,
+		Warmup:       *warmup,
+		Parallelism:  *parallel,
+	})
+
+	selected := map[string]bool{}
+	for _, s := range strings.Split(*only, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			selected[s] = true
+		}
+	}
+	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+
+	type experiment struct {
+		name string
+		run  func() fmt.Stringer
+	}
+	list := []experiment{
+		{"table1", func() fmt.Stringer { return experiments.TableI(runner) }},
+		{"fig4", func() fmt.Stringer { return experiments.Figure4(runner) }},
+		{"fig5", func() fmt.Stringer { return experiments.Figure5(runner) }},
+		{"predictors", func() fmt.Stringer { return predictorBundle{experiments.Predictors(runner)} }},
+		{"fig9-10", func() fmt.Stringer { return experiments.Figure9and10(runner) }},
+		{"fig11-12", func() fmt.Stringer { return ipcBundle{experiments.Figure9and10(runner)} }},
+		{"fig13-14", func() fmt.Stringer { return experiments.Figure13and14(runner) }},
+		{"fig15-16", func() fmt.Stringer { return experiments.Figure15and16(runner) }},
+		{"fig17-18", func() fmt.Stringer { return experiments.Figure17and18(runner) }},
+		{"fig20-21", func() fmt.Stringer { return experiments.Figure20and21(runner) }},
+		{"fig22-23", func() fmt.Stringer { return experiments.Figure22and23(runner) }},
+	}
+
+	fmt.Printf("# MLP-aware SMT fetch policy reproduction — %d instructions/thread, warmup %d\n\n",
+		*instructions, runnerWarmup(runner))
+	for _, e := range list {
+		if !want(e.name) {
+			continue
+		}
+		start := time.Now()
+		res := e.run()
+		fmt.Printf("## %s (%.1fs)\n\n%s\n", e.name, time.Since(start).Seconds(), res)
+	}
+	if len(selected) > 0 {
+		for name := range selected {
+			found := false
+			for _, e := range list {
+				if e.name == name {
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+}
+
+func runnerWarmup(r *sim.Runner) uint64 {
+	if r.Params.Warmup > 0 {
+		return r.Params.Warmup
+	}
+	return r.Params.Instructions / 4
+}
+
+// predictorBundle renders Figures 6, 7 and 8 from one characterization run.
+type predictorBundle struct{ p experiments.PredictorsResult }
+
+func (b predictorBundle) String() string {
+	return b.p.Figure6String() + "\n" + b.p.Figure7String() + "\n" + b.p.Figure8String()
+}
+
+// ipcBundle renders the Figure 11/12 per-thread IPC stacks.
+type ipcBundle struct{ pc experiments.PolicyComparison }
+
+func (b ipcBundle) String() string {
+	return b.pc.IPCStacks(bench.MLPWorkload) + "\n" + b.pc.IPCStacks(bench.MixedWorkload)
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-threads", "swim,twolf", "-policy", "mlpflush",
+		"-instructions", "10000"}, &out)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	s := out.String()
+	for _, want := range []string{"swim", "twolf", "STP", "ANTT", "mlpflush"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunWithLimiter(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-threads", "swim,twolf", "-limiter", "dcra",
+		"-instructions", "8000"}, &out); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(out.String(), "dcra") {
+		t.Fatal("limiter name not reported")
+	}
+}
+
+func TestRunRejectsUnknownBenchmark(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-threads", "nope"}, &out); code == 0 {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestRunRejectsUnknownPolicy(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-threads", "swim,twolf", "-policy", "nope"}, &out); code == 0 {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestRunRejectsUnknownLimiter(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-threads", "swim,twolf", "-limiter", "nope"}, &out); code == 0 {
+		t.Fatal("unknown limiter accepted")
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"icount", "stall", "pstall", "mlpstall",
+		"flush", "mlpflush", "binflush", "mlpflush-rs", "binflush-rs"} {
+		k, ok := policyByName(name)
+		if !ok || k.String() != name {
+			t.Fatalf("policyByName(%q) = %v, %t", name, k, ok)
+		}
+	}
+	if _, ok := policyByName("bogus"); ok {
+		t.Fatal("bogus policy resolved")
+	}
+}

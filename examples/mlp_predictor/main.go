@@ -1,0 +1,70 @@
+// mlp_predictor: demonstrate the paper's Section 4 machinery in isolation —
+// the LLSR (including the Figure 3 worked example) and the MLP distance
+// predictor, without running the full pipeline.
+//
+//	go run ./examples/mlp_predictor
+package main
+
+import (
+	"fmt"
+
+	"smtmlp/internal/mlp"
+)
+
+func main() {
+	// --- The Figure 3 worked example -----------------------------------
+	// An 8-entry LLSR observes a commit stream in which the head load is a
+	// long-latency load and the youngest other long-latency load sits six
+	// instructions behind it: the computed MLP distance is 6.
+	llsr := mlp.NewLLSR(8)
+	const loadPC = 0x1000
+
+	// Fill the register: a long-latency load, then instructions with one
+	// more long-latency load six positions later.
+	pattern := []bool{true, false, false, false, false, false, true, false}
+	for i, isLLL := range pattern {
+		pc := uint64(0)
+		if isLLL {
+			pc = loadPC + uint64(i)
+		}
+		if _, _, update := llsr.Commit(isLLL, pc); update {
+			panic("register still filling; no update expected")
+		}
+	}
+	// The next commit pushes the head long-latency load out and yields its
+	// measured MLP distance.
+	headPC, dist, update := llsr.Commit(false, 0)
+	fmt.Printf("Figure 3 example: update=%t headPC=%#x MLP distance=%d (paper: 6)\n\n",
+		update, headPC, dist)
+
+	// --- Training the distance predictor -------------------------------
+	pred := mlp.NewDistancePredictor(2048, 128)
+	fmt.Printf("before training: predicted distance = %d (conservative default)\n", pred.Predict(loadPC))
+	pred.Update(loadPC, dist)
+	fmt.Printf("after training:  predicted distance = %d\n\n", pred.Predict(loadPC))
+
+	// --- The miss-pattern long-latency load predictor ------------------
+	// A load that misses every 8th execution (a 64-byte line walked in
+	// 8-byte strides) is perfectly predictable by the miss pattern scheme.
+	mp := mlp.NewMissPatternPredictor(2048, 6)
+	const strideLoad = 0x2000
+	hits := 0
+	correct := 0
+	total := 0
+	for i := 0; i < 64; i++ {
+		miss := i%8 == 7
+		predicted := mp.Predict(strideLoad)
+		if i >= 16 { // after one full period of training
+			total++
+			if predicted == miss {
+				correct++
+			}
+		}
+		mp.Update(strideLoad, miss)
+		if !miss {
+			hits++
+		}
+	}
+	fmt.Printf("miss-pattern predictor on a miss-every-8th load: %d/%d correct after training\n",
+		correct, total)
+}

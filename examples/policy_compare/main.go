@@ -1,0 +1,47 @@
+// policy_compare: sweep all six fetch policies of the paper's main
+// evaluation over a few representative two-thread workloads — one
+// ILP-intensive, one MLP-intensive, and one mixed pair — and print a
+// Figure 9/10-style comparison.
+//
+//	go run ./examples/policy_compare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smtmlp"
+)
+
+func main() {
+	cfg := smtmlp.DefaultConfig(2)
+	opts := smtmlp.RunOptions{Instructions: 150_000}
+
+	workloads := []struct {
+		label string
+		w     smtmlp.Workload
+	}{
+		{"ILP   (vortex+parser)", smtmlp.Mix("vortex", "parser")},
+		{"MLP   (swim+galgel)", smtmlp.Mix("swim", "galgel")},
+		{"mixed (swim+twolf)", smtmlp.Mix("swim", "twolf")},
+	}
+
+	fmt.Printf("%-22s", "workload")
+	for _, p := range smtmlp.Policies() {
+		fmt.Printf("  %-16s", p)
+	}
+	fmt.Println()
+
+	for _, wl := range workloads {
+		fmt.Printf("%-22s", wl.label)
+		for _, p := range smtmlp.Policies() {
+			res, err := smtmlp.RunWorkload(cfg, wl.w, p, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  STP %.2f A %.2f", res.STP, res.ANTT)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nSTP higher is better; A (ANTT) lower is better.")
+}

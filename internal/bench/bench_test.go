@@ -1,0 +1,192 @@
+package bench
+
+import "testing"
+
+func TestCatalogComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 26 {
+		t.Fatalf("catalog has %d benchmarks, Table I has 26", len(names))
+	}
+	// Spot-check the suite split of Table I.
+	wantInt := []string{"bzip2", "crafty", "eon", "gap", "gcc", "gzip", "mcf",
+		"parser", "perlbmk", "twolf", "vortex", "vpr"}
+	for i, n := range wantInt {
+		if names[i] != n {
+			t.Fatalf("names[%d] = %s, want %s (Table I order)", i, names[i], n)
+		}
+	}
+}
+
+func TestCatalogUniqueNamesAndSeeds(t *testing.T) {
+	seen := map[string]bool{}
+	seeds := map[uint64]string{}
+	for _, b := range All() {
+		if seen[b.Model.Name] {
+			t.Fatalf("duplicate benchmark %s", b.Model.Name)
+		}
+		seen[b.Model.Name] = true
+		if other, ok := seeds[b.Model.Seed]; ok {
+			t.Fatalf("benchmarks %s and %s share seed %d", b.Model.Name, other, b.Model.Seed)
+		}
+		seeds[b.Model.Seed] = b.Model.Name
+	}
+}
+
+func TestPaperClassesMatchTableI(t *testing.T) {
+	wantMLP := map[string]bool{
+		"mcf": true, "ammp": true, "applu": true, "apsi": true, "equake": true,
+		"fma3d": true, "galgel": true, "lucas": true, "mesa": true, "mgrid": true,
+		"swim": true, "wupwise": true,
+	}
+	for _, b := range All() {
+		want := ILP
+		if wantMLP[b.Model.Name] {
+			want = MLP
+		}
+		if b.PaperClass != want {
+			t.Errorf("%s paper class %v, Table I says %v", b.Model.Name, b.PaperClass, want)
+		}
+	}
+}
+
+func TestPaperReferenceValues(t *testing.T) {
+	mcf := MustGet("mcf")
+	if mcf.PaperLLLPer1K != 17.36 || mcf.PaperMLP != 5.17 {
+		t.Fatalf("mcf reference values drifted: %v %v", mcf.PaperLLLPer1K, mcf.PaperMLP)
+	}
+	fma3d := MustGet("fma3d")
+	if fma3d.PaperImpact != 0.7787 {
+		t.Fatalf("fma3d impact reference drifted: %v", fma3d.PaperImpact)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nonesuch"); err == nil {
+		t.Fatal("Get(nonesuch) did not error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet(nonesuch) did not panic")
+		}
+	}()
+	MustGet("nonesuch")
+}
+
+func TestMostMLPIntensive(t *testing.T) {
+	top := MostMLPIntensive(6)
+	// Figure 4 uses the six most MLP-intensive programs: fma3d, applu,
+	// swim, mcf, equake, lucas (by Table I impact).
+	want := map[string]bool{"fma3d": true, "applu": true, "swim": true,
+		"mcf": true, "equake": true, "lucas": true}
+	if len(top) != 6 {
+		t.Fatalf("got %d names", len(top))
+	}
+	for _, n := range top {
+		if !want[n] {
+			t.Errorf("%s not among the paper's six most MLP-intensive", n)
+		}
+	}
+	if top[0] != "fma3d" {
+		t.Errorf("most intensive is %s, want fma3d (77.87%%)", top[0])
+	}
+	if all := MostMLPIntensive(100); len(all) != 26 {
+		t.Errorf("MostMLPIntensive(100) returned %d", len(all))
+	}
+}
+
+func TestTwoThreadWorkloads(t *testing.T) {
+	ws := TwoThreadWorkloads()
+	if len(ws) != 36 {
+		t.Fatalf("Table II has 36 workloads, got %d", len(ws))
+	}
+	groups := map[WorkloadClass]int{}
+	for _, w := range ws {
+		if len(w.Benchmarks) != 2 {
+			t.Fatalf("%s is not a pair", w.Name())
+		}
+		for _, b := range w.Benchmarks {
+			if _, err := Get(b); err != nil {
+				t.Fatalf("%s references unknown benchmark: %v", w.Name(), err)
+			}
+		}
+		groups[w.Class]++
+	}
+	if groups[ILPWorkload] != 6 || groups[MLPWorkload] != 12 || groups[MixedWorkload] != 18 {
+		t.Fatalf("group sizes %v, want 6/12/18", groups)
+	}
+}
+
+func TestTwoThreadClassesConsistent(t *testing.T) {
+	for _, w := range TwoThreadWorkloads() {
+		mlpCount := 0
+		for _, b := range w.Benchmarks {
+			if MustGet(b).PaperClass == MLP {
+				mlpCount++
+			}
+		}
+		var want WorkloadClass
+		switch mlpCount {
+		case 0:
+			want = ILPWorkload
+		case len(w.Benchmarks):
+			want = MLPWorkload
+		default:
+			want = MixedWorkload
+		}
+		if w.Class != want {
+			t.Errorf("%s labelled %v but contains %d MLP benchmarks", w.Name(), w.Class, mlpCount)
+		}
+		if w.MLPCount != mlpCount {
+			t.Errorf("%s MLPCount %d, want %d", w.Name(), w.MLPCount, mlpCount)
+		}
+	}
+}
+
+func TestFourThreadWorkloads(t *testing.T) {
+	ws := FourThreadWorkloads()
+	if len(ws) != 30 {
+		t.Fatalf("Table III has 30 workloads, got %d", len(ws))
+	}
+	byCount := map[int]int{}
+	for _, w := range ws {
+		if len(w.Benchmarks) != 4 {
+			t.Fatalf("%s is not a 4-thread mix", w.Name())
+		}
+		for _, b := range w.Benchmarks {
+			if _, err := Get(b); err != nil {
+				t.Fatalf("%s references unknown benchmark: %v", w.Name(), err)
+			}
+		}
+		byCount[w.MLPCount]++
+	}
+	// Table III's printed grouping: 5 + 6 + 10 + 6 + 3.
+	want := map[int]int{0: 5, 1: 6, 2: 10, 3: 6, 4: 3}
+	for k, v := range want {
+		if byCount[k] != v {
+			t.Errorf("#MLP=%d group has %d workloads, want %d", k, byCount[k], v)
+		}
+	}
+}
+
+func TestWorkloadsByClass(t *testing.T) {
+	ws := TwoThreadWorkloads()
+	if got := len(WorkloadsByClass(ws, MLPWorkload)); got != 12 {
+		t.Fatalf("WorkloadsByClass(MLP) = %d, want 12", got)
+	}
+}
+
+func TestWorkloadName(t *testing.T) {
+	w := Workload{Benchmarks: []string{"mcf", "galgel"}}
+	if w.Name() != "mcf-galgel" {
+		t.Fatalf("Name() = %q", w.Name())
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if ILP.String() != "ILP" || MLP.String() != "MLP" {
+		t.Fatal("benchmark class strings wrong")
+	}
+	if ILPWorkload.String() != "ILP" || MLPWorkload.String() != "MLP" || MixedWorkload.String() != "mixed" {
+		t.Fatal("workload class strings wrong")
+	}
+}

@@ -1,0 +1,149 @@
+package bench
+
+import "strings"
+
+// WorkloadClass groups multiprogrammed workloads the way the paper's
+// evaluation does.
+type WorkloadClass uint8
+
+// Workload classes for the two-thread mixes of Table II.
+const (
+	ILPWorkload WorkloadClass = iota // all threads ILP-intensive
+	MLPWorkload                      // all threads MLP-intensive
+	MixedWorkload
+)
+
+// String names the workload class as the paper's figures do.
+func (c WorkloadClass) String() string {
+	switch c {
+	case ILPWorkload:
+		return "ILP"
+	case MLPWorkload:
+		return "MLP"
+	default:
+		return "mixed"
+	}
+}
+
+// Workload is a multiprogrammed mix of benchmarks.
+type Workload struct {
+	Benchmarks []string
+	Class      WorkloadClass
+	// MLPCount is the number of MLP-intensive benchmarks in the mix (the
+	// four-thread workloads of Table III are sorted by it).
+	MLPCount int
+}
+
+// Name renders the paper's hyphenated workload name (e.g. "mcf-galgel").
+func (w Workload) Name() string { return strings.Join(w.Benchmarks, "-") }
+
+func mix(class WorkloadClass, mlpCount int, names ...string) Workload {
+	return Workload{Benchmarks: names, Class: class, MLPCount: mlpCount}
+}
+
+// TwoThreadWorkloads returns the 36 two-thread workloads of Table II:
+// 6 ILP-intensive, 12 MLP-intensive and 18 mixed ILP/MLP mixes. For mixed
+// workloads the paper's convention (Figure 12) is that thread 0 is the
+// MLP-intensive thread; the table below preserves the paper's orderings.
+func TwoThreadWorkloads() []Workload {
+	return []Workload{
+		// ILP-intensive.
+		mix(ILPWorkload, 0, "vortex", "parser"),
+		mix(ILPWorkload, 0, "crafty", "twolf"),
+		mix(ILPWorkload, 0, "facerec", "crafty"),
+		mix(ILPWorkload, 0, "vpr", "sixtrack"),
+		mix(ILPWorkload, 0, "vortex", "gcc"),
+		mix(ILPWorkload, 0, "gcc", "gap"),
+		// MLP-intensive.
+		mix(MLPWorkload, 2, "apsi", "mesa"),
+		mix(MLPWorkload, 2, "mcf", "swim"),
+		mix(MLPWorkload, 2, "mcf", "galgel"),
+		mix(MLPWorkload, 2, "wupwise", "ammp"),
+		mix(MLPWorkload, 2, "swim", "galgel"),
+		mix(MLPWorkload, 2, "lucas", "fma3d"),
+		mix(MLPWorkload, 2, "mesa", "galgel"),
+		mix(MLPWorkload, 2, "galgel", "fma3d"),
+		mix(MLPWorkload, 2, "applu", "swim"),
+		mix(MLPWorkload, 2, "mcf", "equake"),
+		mix(MLPWorkload, 2, "applu", "galgel"),
+		mix(MLPWorkload, 2, "swim", "mesa"),
+		// Mixed ILP/MLP.
+		mix(MixedWorkload, 1, "swim", "perlbmk"),
+		mix(MixedWorkload, 1, "galgel", "twolf"),
+		mix(MixedWorkload, 1, "fma3d", "twolf"),
+		mix(MixedWorkload, 1, "apsi", "art"),
+		mix(MixedWorkload, 1, "gzip", "wupwise"),
+		mix(MixedWorkload, 1, "apsi", "twolf"),
+		mix(MixedWorkload, 1, "mgrid", "vortex"),
+		mix(MixedWorkload, 1, "swim", "twolf"),
+		mix(MixedWorkload, 1, "swim", "eon"),
+		mix(MixedWorkload, 1, "swim", "facerec"),
+		mix(MixedWorkload, 1, "parser", "wupwise"),
+		mix(MixedWorkload, 1, "vpr", "mcf"),
+		mix(MixedWorkload, 1, "equake", "perlbmk"),
+		mix(MixedWorkload, 1, "applu", "vortex"),
+		mix(MixedWorkload, 1, "art", "mgrid"),
+		mix(MixedWorkload, 1, "equake", "art"),
+		mix(MixedWorkload, 1, "parser", "ammp"),
+		mix(MixedWorkload, 1, "facerec", "mcf"),
+	}
+}
+
+// FourThreadWorkloads returns the 30 four-thread workloads of Table III,
+// sorted (and labelled) by the paper's #MLP column. The mixes are printed in
+// the paper exactly as reproduced here.
+func FourThreadWorkloads() []Workload {
+	w := func(mlpCount int, names ...string) Workload {
+		class := MixedWorkload
+		switch mlpCount {
+		case 0:
+			class = ILPWorkload
+		case 4:
+			class = MLPWorkload
+		}
+		return Workload{Benchmarks: names, Class: class, MLPCount: mlpCount}
+	}
+	return []Workload{
+		w(0, "vortex", "parser", "crafty", "twolf"),
+		w(0, "facerec", "crafty", "vpr", "sixtrack"),
+		w(0, "swim", "perlbmk", "vortex", "gcc"),
+		w(0, "galgel", "twolf", "gcc", "gap"),
+		w(0, "fma3d", "twolf", "vortex", "parser"),
+		w(1, "apsi", "art", "crafty", "twolf"),
+		w(1, "gzip", "wupwise", "facerec", "crafty"),
+		w(1, "apsi", "twolf", "vpr", "sixtrack"),
+		w(1, "mgrid", "vortex", "swim", "twolf"),
+		w(1, "swim", "eon", "perlbmk", "mesa"),
+		w(1, "parser", "wupwise", "vpr", "mcf"),
+		w(2, "equake", "perlbmk", "applu", "vortex"),
+		w(2, "art", "mgrid", "applu", "galgel"),
+		w(2, "parser", "ammp", "facerec", "mcf"),
+		w(2, "swim", "perlbmk", "galgel", "twolf"),
+		w(2, "fma3d", "twolf", "apsi", "art"),
+		w(2, "gzip", "wupwise", "apsi", "twolf"),
+		w(2, "equake", "art", "parser", "ammp"),
+		w(2, "apsi", "mesa", "swim", "eon"),
+		w(2, "mcf", "swim", "perlbmk", "mesa"),
+		w(2, "mcf", "galgel", "vortex", "gcc"),
+		w(3, "wupwise", "ammp", "vpr", "mcf"),
+		w(3, "swim", "galgel", "parser", "wupwise"),
+		w(3, "lucas", "fma3d", "equake", "perlbmk"),
+		w(3, "mesa", "galgel", "applu", "vortex"),
+		w(3, "galgel", "fma3d", "art", "mgrid"),
+		w(3, "applu", "swim", "mcf", "equake"),
+		w(4, "applu", "galgel", "swim", "mesa"),
+		w(4, "apsi", "mesa", "mcf", "swim"),
+		w(4, "mcf", "galgel", "wupwise", "ammp"),
+	}
+}
+
+// WorkloadsByClass filters workloads to one class.
+func WorkloadsByClass(ws []Workload, c WorkloadClass) []Workload {
+	var out []Workload
+	for _, w := range ws {
+		if w.Class == c {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package bpred
+
+import "testing"
+
+func TestAlwaysTakenBranchLearned(t *testing.T) {
+	p := New(DefaultConfig())
+	const pc = 0x100
+	const target = 0x200
+	mis := 0
+	for i := 0; i < 200; i++ {
+		// gshare needs one trained counter per distinct history, so allow a
+		// warm-up long enough for the history register to saturate.
+		if p.Resolve(pc, true, target) && i >= 32 {
+			mis++
+		}
+	}
+	if mis != 0 {
+		t.Fatalf("always-taken branch mispredicted %d times after warm-up", mis)
+	}
+}
+
+func TestAlwaysNotTakenBranch(t *testing.T) {
+	p := New(DefaultConfig())
+	mis := 0
+	for i := 0; i < 100; i++ {
+		if p.Resolve(0x100, false, 0) && i >= 4 {
+			mis++
+		}
+	}
+	if mis != 0 {
+		t.Fatalf("never-taken branch mispredicted %d times after warm-up", mis)
+	}
+}
+
+func TestLoopPatternLearned(t *testing.T) {
+	// Taken 7, not-taken 1, repeating: gshare with global history should
+	// predict the not-taken iteration most of the time once trained.
+	p := New(DefaultConfig())
+	mis := 0
+	total := 0
+	for i := 0; i < 800; i++ {
+		taken := i%8 != 7
+		m := p.Resolve(0x40, taken, 0x80)
+		if i >= 200 {
+			total++
+			if m {
+				mis++
+			}
+		}
+	}
+	rate := float64(mis) / float64(total)
+	if rate > 0.02 {
+		t.Fatalf("loop pattern misprediction rate %.2f too high", rate)
+	}
+}
+
+func TestBTBMissIsMisprediction(t *testing.T) {
+	p := New(DefaultConfig())
+	// Train direction to taken on an aliasing PC so the direction counter is
+	// warm but the BTB has never seen this branch.
+	for i := 0; i < 8; i++ {
+		p.Resolve(0x1000, true, 0x2000)
+	}
+	// A different branch, same gshare direction region possible, fresh BTB
+	// entry: first taken resolution must be a misprediction (unknown target).
+	if !p.Resolve(0x5555000, true, 0x99999) {
+		t.Fatal("first taken execution with unknown BTB target was not a misprediction")
+	}
+	// Once the direction counters and the BTB entry are trained, the branch
+	// predicts cleanly.
+	var last bool
+	for i := 0; i < 32; i++ {
+		last = p.Resolve(0x5555000, true, 0x99999)
+	}
+	if last {
+		t.Fatal("BTB + direction did not learn the branch")
+	}
+}
+
+func TestBTBTargetChangeMispredicts(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 8; i++ {
+		p.Resolve(0x100, true, 0x200)
+	}
+	if !p.Resolve(0x100, true, 0x300) {
+		t.Fatal("changed target not flagged as misprediction")
+	}
+}
+
+func TestBTBCapacityEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	p := New(cfg)
+	// Fill one BTB set beyond its associativity with distinct taken
+	// branches that map to the same set.
+	sets := cfg.BTBEntries / cfg.BTBWays
+	for w := 0; w <= cfg.BTBWays; w++ {
+		pc := uint64(0x1000 + w*sets)
+		p.Resolve(pc, true, pc+0x10)
+		p.Resolve(pc, true, pc+0x10) // second hit trains direction + keeps entry
+	}
+	// The LRU victim (first branch) should have been evicted; its next taken
+	// execution needs a BTB refill and therefore mispredicts.
+	if !p.Resolve(0x1000, true, 0x1010) {
+		t.Fatal("expected eviction-induced misprediction")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 50; i++ {
+		p.Resolve(0x10, true, 0x20)
+	}
+	if p.Lookups != 50 {
+		t.Fatalf("Lookups = %d, want 50", p.Lookups)
+	}
+	if p.MispredictRate() < 0 || p.MispredictRate() > 1 {
+		t.Fatalf("MispredictRate out of range: %v", p.MispredictRate())
+	}
+}
+
+func TestResetStatsKeepsTables(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 50; i++ {
+		p.Resolve(0x10, true, 0x20)
+	}
+	p.ResetStats()
+	if p.Lookups != 0 || p.Mispredicts != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+	// Trained tables survive: next resolution is not a misprediction.
+	if p.Resolve(0x10, true, 0x20) {
+		t.Fatal("ResetStats discarded trained state")
+	}
+}
+
+func TestRandomBranchesBounded(t *testing.T) {
+	p := New(DefaultConfig())
+	// A deterministic pseudo-random outcome stream: the predictor cannot do
+	// much better than 50%, and must not do dramatically worse.
+	x := uint64(0x123456789)
+	mis := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		taken := x&1 == 1
+		if p.Resolve(0x40, taken, 0x80) {
+			mis++
+		}
+	}
+	rate := float64(mis) / n
+	if rate > 0.65 {
+		t.Fatalf("random-branch misprediction rate %.2f implausibly high", rate)
+	}
+}
+
+func TestMispredictRateNoLookups(t *testing.T) {
+	if r := New(DefaultConfig()).MispredictRate(); r != 0 {
+		t.Fatalf("empty predictor rate = %v, want 0", r)
+	}
+}
+
+func TestBadConfigFallsBack(t *testing.T) {
+	p := New(Config{})
+	if p == nil {
+		t.Fatal("New(Config{}) returned nil")
+	}
+	p.Resolve(0x10, true, 0x20) // must not panic
+}

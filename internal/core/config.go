@@ -1,0 +1,130 @@
+// Package core implements the cycle-level simultaneous multithreading (SMT)
+// out-of-order processor model the paper's evaluation runs on — the role
+// SMTSIM v1.0 plays in the original work.
+//
+// The pipeline models, cycle by cycle: ICOUNT-ordered fetch of up to four
+// instructions from up to two threads (ICOUNT 2.4), a front-end delay,
+// rename/dispatch into a shared reorder buffer, load/store queue and issue
+// queues under rename-register constraints, age-ordered issue to functional
+// units, a memory hierarchy access path for loads and committed stores, an
+// 8-entry write buffer that blocks commit when full, in-order per-thread
+// commit, and full per-thread flush support (checkpoint restore) for the
+// flush-based fetch policies.
+//
+// Fetch policies and explicit resource partitioners plug in through the
+// Policy and Limiter interfaces defined in policy.go; the MLP predictors of
+// internal/mlp are instantiated per thread and trained on the commit path
+// (LLSR) and the load execution path (miss-pattern predictor) exactly as
+// Section 4 of the paper describes.
+package core
+
+import (
+	"smtmlp/internal/bpred"
+	"smtmlp/internal/mem"
+)
+
+// Config is the processor configuration (Table IV is the default).
+type Config struct {
+	Threads int
+
+	FetchWidth   int // instructions fetched per cycle (4)
+	FetchThreads int // threads fetched from per cycle (2 -> ICOUNT 2.4)
+	IssueWidth   int // instructions issued per cycle
+	CommitWidth  int // instructions committed per cycle
+
+	ROBSize   int // shared reorder buffer entries
+	LSQSize   int // shared load/store queue entries
+	IQInt     int // integer issue queue entries
+	IQFP      int // floating-point issue queue entries
+	RenameInt int // integer rename registers
+	RenameFP  int // floating-point rename registers
+
+	IntALUs   int // integer ALUs (also execute branches and multiplies)
+	LdStUnits int // load/store units
+	FPUnits   int // floating-point units
+
+	WriteBuffer int // write buffer entries (stores wait here after commit)
+
+	FrontEndDelay     int // cycles from fetch to earliest dispatch
+	MispredictPenalty int // total branch misprediction penalty in cycles
+
+	// LLSRSize is the per-thread long-latency shift register length;
+	// 0 means ROBSize / Threads (the paper's default).
+	LLSRSize int
+
+	// PredictorEntries sizes the PC-indexed MLP tables (2K in the paper).
+	PredictorEntries int
+
+	// DetectDelay is the delay from load issue until a long-latency miss is
+	// detected and reported to the fetch policy; 0 means the L3 hit latency
+	// (the earliest moment the hardware knows the access missed the L3).
+	DetectDelay int64
+
+	Mem   mem.Config
+	Bpred bpred.Config
+
+	// MaxCycles aborts a run that exceeds this cycle count (a deadlock
+	// guard for tests); 0 means no limit.
+	MaxCycles int64
+}
+
+// DefaultConfig returns the baseline SMT processor of Table IV for the given
+// number of hardware threads.
+func DefaultConfig(threads int) Config {
+	return Config{
+		Threads:           threads,
+		FetchWidth:        4,
+		FetchThreads:      2,
+		IssueWidth:        4,
+		CommitWidth:       4,
+		ROBSize:           256,
+		LSQSize:           128,
+		IQInt:             64,
+		IQFP:              64,
+		RenameInt:         100,
+		RenameFP:          100,
+		IntALUs:           4,
+		LdStUnits:         2,
+		FPUnits:           2,
+		WriteBuffer:       8,
+		FrontEndDelay:     5, // front half of the 14-stage pipeline
+		MispredictPenalty: 11,
+		PredictorEntries:  2048,
+		Mem:               mem.DefaultConfig(threads),
+		Bpred:             bpred.DefaultConfig(),
+	}
+}
+
+// ScaleWindow resizes the out-of-order window the way the Figure 17/18
+// experiment does: ROB size rob, with the load/store queue, issue queues and
+// rename register files scaled proportionally (LSQ=rob/2, IQs=rob/4,
+// rename=rob*100/256).
+func (c Config) ScaleWindow(rob int) Config {
+	c.ROBSize = rob
+	c.LSQSize = rob / 2
+	c.IQInt = rob / 4
+	c.IQFP = rob / 4
+	c.RenameInt = rob * 100 / 256
+	c.RenameFP = rob * 100 / 256
+	return c
+}
+
+// llsrSize resolves the configured LLSR length.
+func (c Config) llsrSize() int {
+	if c.LLSRSize > 0 {
+		return c.LLSRSize
+	}
+	n := c.Threads
+	if n < 1 {
+		n = 1
+	}
+	return c.ROBSize / n
+}
+
+// detectDelay resolves the long-latency miss detection delay.
+func (c Config) detectDelay() int64 {
+	if c.DetectDelay > 0 {
+		return c.DetectDelay
+	}
+	return c.Mem.L3.Latency
+}

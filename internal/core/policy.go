@@ -1,0 +1,87 @@
+package core
+
+// Policy is the fetch policy plug-in interface. The core consults CanFetch
+// every cycle for every thread and reports pipeline events through the
+// Observe hooks; policies respond by gating fetch (returning false from
+// CanFetch) and/or by requesting flushes via Core.FlushAfter.
+//
+// All the paper's policies are implemented against this interface in
+// internal/policy. The baseline ICOUNT policy is the zero behaviour: it
+// never gates fetch (ICOUNT thread ordering itself is built into the core's
+// fetch stage, as every policy in the paper extends ICOUNT).
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+
+	// Attach is called once before simulation starts.
+	Attach(c *Core)
+
+	// CanFetch reports whether thread tid may fetch this cycle.
+	CanFetch(tid int) bool
+
+	// OnFetch is called for every fetched uop, in fetch order, before the
+	// next CanFetch check of the same thread (predictive policies gate
+	// fetch as soon as a predicted long-latency load is fetched).
+	OnFetch(u *Uop)
+
+	// OnLLLDetected is called when an executing load is discovered to be a
+	// long-latency load (an L3 or D-TLB miss), DetectDelay cycles after it
+	// issued.
+	OnLLLDetected(u *Uop)
+
+	// OnLoadComplete is called when any load finishes (hit or miss, even if
+	// squashed in the meantime); policies drop it from their blocking sets.
+	OnLoadComplete(u *Uop)
+
+	// OnSquash is called for every uop removed by a flush.
+	OnSquash(u *Uop)
+
+	// OnResourceStall is called on cycles where dispatch wanted to make
+	// progress but no thread could allocate the shared resources it needed
+	// (used by the flush-at-resource-stall alternatives of Section 6.5).
+	OnResourceStall(now int64)
+}
+
+// ICount is the baseline ICOUNT fetch policy of Tullsen et al.: thread
+// priority by lowest in-flight instruction count, no long-latency gating.
+// The priority ordering lives in the core's fetch stage; ICount simply never
+// gates.
+type ICount struct{}
+
+// Name implements Policy.
+func (ICount) Name() string { return "icount" }
+
+// Attach implements Policy.
+func (ICount) Attach(*Core) {}
+
+// CanFetch implements Policy: ICOUNT never gates fetch.
+func (ICount) CanFetch(int) bool { return true }
+
+// OnFetch implements Policy.
+func (ICount) OnFetch(*Uop) {}
+
+// OnLLLDetected implements Policy.
+func (ICount) OnLLLDetected(*Uop) {}
+
+// OnLoadComplete implements Policy.
+func (ICount) OnLoadComplete(*Uop) {}
+
+// OnSquash implements Policy.
+func (ICount) OnSquash(*Uop) {}
+
+// OnResourceStall implements Policy.
+func (ICount) OnResourceStall(int64) {}
+
+// Limiter is the explicit resource partitioning interface (Section 6.6).
+// When non-nil, the core consults it at dispatch: a uop dispatches only when
+// the limiter grants every buffer resource it needs. Static partitioning and
+// DCRA are Limiters in internal/policy.
+type Limiter interface {
+	// Name identifies the limiter in experiment output.
+	Name() string
+
+	// MayDispatch reports whether thread tid may allocate the resources
+	// needed by u (one ROB entry, plus an LSQ entry, an issue queue entry
+	// and a rename register as applicable).
+	MayDispatch(c *Core, tid int, u *Uop) bool
+}

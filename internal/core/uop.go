@@ -1,0 +1,115 @@
+package core
+
+import (
+	"container/heap"
+
+	"smtmlp/internal/isa"
+	"smtmlp/internal/mem"
+)
+
+// uopState tracks a micro-op through the pipeline.
+type uopState uint8
+
+const (
+	stateFetched    uopState = iota // in the front-end queue
+	stateDispatched                 // in ROB + issue queue, waiting for operands
+	stateIssued                     // executing
+	stateDone                       // completed, waiting to commit
+	stateSquashed                   // flushed
+)
+
+// Uop is one in-flight micro-operation. Policies receive *Uop in their hooks
+// and may read any exported field; they must not mutate them.
+type Uop struct {
+	In  isa.Instr
+	Tid int
+	ID  uint64 // global age: smaller is older across all threads
+
+	state      uopState
+	fetchedAt  int64
+	doneAt     int64
+	src1Ready  bool
+	src2Ready  bool
+	inIQ       bool
+	dependents []*Uop
+
+	// Branch bookkeeping (filled at fetch).
+	Mispredicted bool
+	predTaken    bool
+
+	// Load bookkeeping.
+	Access       mem.Access // valid once issued (Load) or committed (Store)
+	IsLLL        bool       // long-latency load (valid once issued)
+	PredictedLLL bool       // front-end miss-pattern prediction at fetch
+}
+
+// Seq returns the per-thread dynamic sequence number.
+func (u *Uop) Seq() uint64 { return u.In.Seq }
+
+// Squashed reports whether the uop has been flushed. Policies use this to
+// drop stale entries from their tracking sets.
+func (u *Uop) Squashed() bool { return u.state == stateSquashed }
+
+// Done reports whether the uop has finished executing.
+func (u *Uop) Done() bool { return u.state == stateDone }
+
+func (u *Uop) ready() bool { return u.src1Ready && u.src2Ready }
+
+// event kinds processed by the core's time queue.
+type eventKind uint8
+
+const (
+	evComplete        eventKind = iota // functional unit / memory completion
+	evDetectLLL                        // long-latency miss detected (policy hook)
+	evWriteBufferFree                  // committed store left the write buffer
+)
+
+type event struct {
+	cycle int64
+	seq   uint64 // tie-break for deterministic ordering
+	kind  eventKind
+	uop   *Uop
+}
+
+// eventQueue is a deterministic min-heap ordered by (cycle, insertion seq).
+type eventQueue struct {
+	items []event
+	nseq  uint64
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+func (q *eventQueue) Less(i, j int) bool {
+	if q.items[i].cycle != q.items[j].cycle {
+		return q.items[i].cycle < q.items[j].cycle
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+func (q *eventQueue) Swap(i, j int)      { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *eventQueue) Push(x interface{}) { q.items = append(q.items, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+func (q *eventQueue) schedule(cycle int64, kind eventKind, u *Uop) {
+	q.nseq++
+	heap.Push(q, event{cycle: cycle, seq: q.nseq, kind: kind, uop: u})
+}
+
+// peekCycle returns the cycle of the earliest event, or false when empty.
+func (q *eventQueue) peekCycle() (int64, bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0].cycle, true
+}
+
+func (q *eventQueue) popIfDue(now int64) (event, bool) {
+	if len(q.items) == 0 || q.items[0].cycle > now {
+		return event{}, false
+	}
+	return heap.Pop(q).(event), true
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"smtmlp/internal/bench"
+	"smtmlp/internal/core"
+	"smtmlp/internal/metrics"
+	"smtmlp/internal/policy"
+	"smtmlp/internal/sim"
+)
+
+// Figure20and21 reproduces the alternative MLP-aware fetch policies study
+// (Section 6.5): policies (a)-(e) of Figure 19 over the three two-thread
+// workload groups, reported as STP (Figure 20) and ANTT (Figure 21).
+func Figure20and21(r *sim.Runner) PolicyComparison {
+	return comparePolicies(r, core.DefaultConfig(2), bench.TwoThreadWorkloads(), policy.Alternatives(),
+		"Figures 20 & 21 — alternative MLP-aware fetch policies (a=flush, b=mlpflush, c=binflush, d=mlpflush-rs, e=binflush-rs)")
+}
+
+// PartitioningRow aggregates one resource-management scheme over one
+// workload class.
+type PartitioningRow struct {
+	Scheme string
+	Class  bench.WorkloadClass
+	STP    float64
+	ANTT   float64
+}
+
+// PartitioningResult is the Figure 22/23 comparison of the MLP-aware flush
+// policy against static partitioning and DCRA, for two- and four-thread
+// workloads.
+type PartitioningResult struct {
+	TwoThread  []PartitioningRow
+	FourThread []PartitioningRow
+}
+
+// partitionSchemes defines the three contenders of Figures 22 and 23.
+func partitionSchemes() []struct {
+	name    string
+	kind    policy.Kind
+	limiter core.Limiter
+} {
+	return []struct {
+		name    string
+		kind    policy.Kind
+		limiter core.Limiter
+	}{
+		{"mlpflush", policy.MLPFlush, nil},
+		{"static", policy.ICount, policy.StaticPartition{}},
+		{"dcra", policy.ICount, policy.DCRA{}},
+	}
+}
+
+// Figure22and23 runs the partitioning comparison.
+func Figure22and23(r *sim.Runner) PartitioningResult {
+	var out PartitioningResult
+	out.TwoThread = runPartitioning(r, core.DefaultConfig(2), bench.TwoThreadWorkloads())
+	out.FourThread = runPartitioning(r, core.DefaultConfig(4), bench.FourThreadWorkloads())
+	return out
+}
+
+func runPartitioning(r *sim.Runner, cfg core.Config, workloads []bench.Workload) []PartitioningRow {
+	schemes := partitionSchemes()
+	var benchNames []string
+	for _, w := range workloads {
+		benchNames = append(benchNames, w.Benchmarks...)
+	}
+	r.PrimeSTReferences(cfg, benchNames)
+
+	results := make([]sim.WorkloadResult, len(workloads)*len(schemes))
+	var jobs []sim.Job
+	for wi, w := range workloads {
+		for si, s := range schemes {
+			wi, w, si, s := wi, w, si, s
+			jobs = append(jobs, func() {
+				results[wi*len(schemes)+si] = r.RunWorkload(cfg, w, s.kind, s.limiter)
+			})
+		}
+	}
+	r.Parallel(jobs)
+
+	var rows []PartitioningRow
+	for _, class := range []bench.WorkloadClass{bench.ILPWorkload, bench.MLPWorkload, bench.MixedWorkload} {
+		if len(bench.WorkloadsByClass(workloads, class)) == 0 {
+			continue
+		}
+		for si, s := range schemes {
+			var stps, antts []float64
+			for wi, w := range workloads {
+				if w.Class != class {
+					continue
+				}
+				res := results[wi*len(schemes)+si]
+				stps = append(stps, res.STP)
+				antts = append(antts, res.ANTT)
+			}
+			rows = append(rows, PartitioningRow{
+				Scheme: s.name,
+				Class:  class,
+				STP:    metrics.HarmonicMean(stps),
+				ANTT:   metrics.ArithmeticMean(antts),
+			})
+		}
+	}
+	return rows
+}
+
+// String renders Figures 22 and 23.
+func (p PartitioningResult) String() string {
+	render := func(title string, rows []PartitioningRow) string {
+		tbl := Table{
+			Title:  title,
+			Header: []string{"group", "scheme", "STP", "ANTT"},
+		}
+		for _, r := range rows {
+			tbl.AddRow(r.Class.String(), r.Scheme, f3(r.STP), f3(r.ANTT))
+		}
+		return tbl.String()
+	}
+	return render("Figures 22 & 23 — MLP-aware flush vs static partitioning vs DCRA (two-thread)", p.TwoThread) +
+		"\n" + render("Figures 22 & 23 — MLP-aware flush vs static partitioning vs DCRA (four-thread)", p.FourThread)
+}

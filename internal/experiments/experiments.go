@@ -1,0 +1,73 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 2 characterization and Section 6 evaluation). Each
+// experiment is a function from a sim.Runner (which fixes the instruction
+// budget and parallelism) to a result struct that renders the same rows or
+// series the paper reports. cmd/repro runs them all; the root bench harness
+// exposes one testing.B benchmark per experiment.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned-text table used by all experiment renderings.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
+func pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smtmlp/internal/bench"
+	"smtmlp/internal/core"
+	"smtmlp/internal/metrics"
+	"smtmlp/internal/policy"
+	"smtmlp/internal/sim"
+)
+
+// GroupStats aggregates STP and ANTT over one workload class for one policy,
+// using the paper's averaging rules (harmonic for STP, arithmetic for ANTT).
+type GroupStats struct {
+	Policy string
+	STP    float64
+	ANTT   float64
+}
+
+// PolicyComparison is the Figure 9/10 (two-thread) or Figure 13/14
+// (four-thread) experiment: every workload under every fetch policy.
+type PolicyComparison struct {
+	Title     string
+	Policies  []string
+	Groups    []bench.WorkloadClass
+	ByGroup   map[bench.WorkloadClass][]GroupStats
+	Workloads []sim.WorkloadResult // every individual run, for Figures 11/12
+}
+
+// comparePolicies runs workloads x kinds on cfg and aggregates per class.
+func comparePolicies(r *sim.Runner, cfg core.Config, workloads []bench.Workload, kinds []policy.Kind, title string) PolicyComparison {
+	// Prime the single-threaded references once, in parallel.
+	var benchNames []string
+	for _, w := range workloads {
+		benchNames = append(benchNames, w.Benchmarks...)
+	}
+	r.PrimeSTReferences(cfg, benchNames)
+
+	results := make([]sim.WorkloadResult, len(workloads)*len(kinds))
+	var jobs []sim.Job
+	for wi, w := range workloads {
+		for ki, k := range kinds {
+			wi, w, ki, k := wi, w, ki, k
+			jobs = append(jobs, func() {
+				results[wi*len(kinds)+ki] = r.RunWorkload(cfg, w, k, nil)
+			})
+		}
+	}
+	r.Parallel(jobs)
+
+	pc := PolicyComparison{
+		Title:     title,
+		ByGroup:   make(map[bench.WorkloadClass][]GroupStats),
+		Workloads: results,
+	}
+	for _, k := range kinds {
+		pc.Policies = append(pc.Policies, k.String())
+	}
+	for _, class := range []bench.WorkloadClass{bench.ILPWorkload, bench.MLPWorkload, bench.MixedWorkload} {
+		if len(bench.WorkloadsByClass(workloads, class)) == 0 {
+			continue
+		}
+		pc.Groups = append(pc.Groups, class)
+		for ki, k := range kinds {
+			var stps, antts []float64
+			for wi, w := range workloads {
+				if w.Class != class {
+					continue
+				}
+				res := results[wi*len(kinds)+ki]
+				stps = append(stps, res.STP)
+				antts = append(antts, res.ANTT)
+			}
+			pc.ByGroup[class] = append(pc.ByGroup[class], GroupStats{
+				Policy: k.String(),
+				STP:    metrics.HarmonicMean(stps),
+				ANTT:   metrics.ArithmeticMean(antts),
+			})
+		}
+	}
+	return pc
+}
+
+// Figure9and10 reproduces the two-thread policy comparison: STP (Figure 9)
+// and ANTT (Figure 10) for ILP-, MLP- and mixed-intensive workload groups
+// under the six fetch policies.
+func Figure9and10(r *sim.Runner) PolicyComparison {
+	return comparePolicies(r, core.DefaultConfig(2), bench.TwoThreadWorkloads(), policy.Paper(),
+		"Figures 9 & 10 — STP and ANTT, two-thread workloads")
+}
+
+// Figure13and14 reproduces the four-thread policy comparison (Figures 13
+// and 14). The paper reports one average over all 30 workloads; the class
+// grouping (all-ILP / all-MLP / mixed) is also provided.
+func Figure13and14(r *sim.Runner) PolicyComparison {
+	return comparePolicies(r, core.DefaultConfig(4), bench.FourThreadWorkloads(), policy.Paper(),
+		"Figures 13 & 14 — STP and ANTT, four-thread workloads")
+}
+
+// String renders the group-averaged STP and ANTT tables.
+func (pc PolicyComparison) String() string {
+	tbl := Table{
+		Title:  pc.Title,
+		Header: []string{"group", "metric"},
+	}
+	tbl.Header = append(tbl.Header, pc.Policies...)
+	for _, g := range pc.Groups {
+		stp := []string{g.String(), "STP"}
+		antt := []string{g.String(), "ANTT"}
+		for _, s := range pc.ByGroup[g] {
+			stp = append(stp, f3(s.STP))
+			antt = append(antt, f3(s.ANTT))
+		}
+		tbl.AddRow(stp...)
+		tbl.AddRow(antt...)
+	}
+	tbl.Notes = append(tbl.Notes,
+		"STP averaged with the harmonic mean, ANTT with the arithmetic mean (John 2006)",
+		"STP higher is better; ANTT lower is better")
+	return tbl.String()
+}
+
+// GroupPolicy returns the aggregated stats for one class and policy name.
+func (pc PolicyComparison) GroupPolicy(class bench.WorkloadClass, name string) (GroupStats, bool) {
+	for _, s := range pc.ByGroup[class] {
+		if s.Policy == name {
+			return s, true
+		}
+	}
+	return GroupStats{}, false
+}
+
+// IPCStacks renders Figures 11 and 12: per-thread IPC under every policy for
+// the workloads of one class (MLP-intensive for Figure 11, mixed for
+// Figure 12, where thread 0 is the MLP-intensive thread).
+func (pc PolicyComparison) IPCStacks(class bench.WorkloadClass) string {
+	tbl := Table{
+		Title:  fmt.Sprintf("Figures 11 & 12 — per-thread IPC, %s two-thread workloads", class),
+		Header: []string{"workload", "thread"},
+	}
+	tbl.Header = append(tbl.Header, pc.Policies...)
+	np := len(pc.Policies)
+	for wi := 0; wi*np < len(pc.Workloads); wi++ {
+		w := pc.Workloads[wi*np].Workload
+		if w.Class != class {
+			continue
+		}
+		for t, b := range w.Benchmarks {
+			row := []string{w.Name(), fmt.Sprintf("%d:%s", t, b)}
+			for ki := range pc.Policies {
+				row = append(row, f3(pc.Workloads[wi*np+ki].Result.IPC[t]))
+			}
+			tbl.AddRow(row...)
+		}
+	}
+	return tbl.String()
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smtmlp/internal/bench"
+	"smtmlp/internal/core"
+	"smtmlp/internal/metrics"
+	"smtmlp/internal/policy"
+	"smtmlp/internal/sim"
+)
+
+// SweepPoint aggregates all two-thread workloads for one configuration point
+// and one policy.
+type SweepPoint struct {
+	Label  string // e.g. "mem=400" or "rob=512"
+	Policy string
+	STP    float64
+	ANTT   float64
+}
+
+// SweepResult is the Figure 15/16 (memory latency) or Figure 17/18 (window
+// size) experiment.
+type SweepResult struct {
+	Title  string
+	Labels []string
+	Points map[string][]SweepPoint // label -> per-policy stats
+}
+
+// sweep runs all two-thread workloads under every paper policy at each
+// configuration point.
+func sweep(r *sim.Runner, title string, labels []string, configs []core.Config, workloads []bench.Workload) SweepResult {
+	kinds := policy.Paper()
+	out := SweepResult{Title: title, Labels: labels, Points: make(map[string][]SweepPoint)}
+
+	for li, cfg := range configs {
+		cfg := cfg
+		var benchNames []string
+		for _, w := range workloads {
+			benchNames = append(benchNames, w.Benchmarks...)
+		}
+		r.PrimeSTReferences(cfg, benchNames)
+
+		results := make([]sim.WorkloadResult, len(workloads)*len(kinds))
+		var jobs []sim.Job
+		for wi, w := range workloads {
+			for ki, k := range kinds {
+				wi, w, ki, k := wi, w, ki, k
+				jobs = append(jobs, func() {
+					results[wi*len(kinds)+ki] = r.RunWorkload(cfg, w, k, nil)
+				})
+			}
+		}
+		r.Parallel(jobs)
+
+		for ki, k := range kinds {
+			var stps, antts []float64
+			for wi := range workloads {
+				res := results[wi*len(kinds)+ki]
+				stps = append(stps, res.STP)
+				antts = append(antts, res.ANTT)
+			}
+			out.Points[labels[li]] = append(out.Points[labels[li]], SweepPoint{
+				Label:  labels[li],
+				Policy: k.String(),
+				STP:    metrics.HarmonicMean(stps),
+				ANTT:   metrics.ArithmeticMean(antts),
+			})
+		}
+	}
+	return out
+}
+
+// Figure15and16 reproduces the main-memory latency sweep: STP (Figure 15)
+// and ANTT (Figure 16) across 200-800 cycles, all two-thread workloads.
+func Figure15and16(r *sim.Runner) SweepResult {
+	var labels []string
+	var configs []core.Config
+	for _, lat := range []int64{200, 400, 600, 800} {
+		cfg := core.DefaultConfig(2)
+		cfg.Mem.MemLatency = lat
+		labels = append(labels, fmt.Sprintf("mem=%d", lat))
+		configs = append(configs, cfg)
+	}
+	return sweep(r, "Figures 15 & 16 — STP and ANTT vs main memory access latency (two-thread workloads)",
+		labels, configs, bench.TwoThreadWorkloads())
+}
+
+// Figure17and18 reproduces the window size sweep: ROB 128-1024 with the
+// LSQ, issue queues and rename registers scaled proportionally.
+func Figure17and18(r *sim.Runner) SweepResult {
+	var labels []string
+	var configs []core.Config
+	for _, rob := range []int{128, 256, 512, 1024} {
+		cfg := core.DefaultConfig(2).ScaleWindow(rob)
+		labels = append(labels, fmt.Sprintf("rob=%d", rob))
+		configs = append(configs, cfg)
+	}
+	return sweep(r, "Figures 17 & 18 — STP and ANTT vs processor window size (two-thread workloads)",
+		labels, configs, bench.TwoThreadWorkloads())
+}
+
+// String renders the sweep as two tables (STP, then ANTT), policies as
+// columns and sweep points as rows, with relative-to-ICOUNT columns as the
+// paper's figures plot.
+func (s SweepResult) String() string {
+	var policies []string
+	if len(s.Labels) > 0 {
+		for _, p := range s.Points[s.Labels[0]] {
+			policies = append(policies, p.Policy)
+		}
+	}
+	render := func(metric string, get func(SweepPoint) float64, lowerBetter bool) string {
+		tbl := Table{
+			Title:  fmt.Sprintf("%s — %s", s.Title, metric),
+			Header: append([]string{"point"}, policies...),
+		}
+		for _, l := range s.Labels {
+			row := []string{l}
+			var icount float64
+			for _, p := range s.Points[l] {
+				if p.Policy == "icount" {
+					icount = get(p)
+				}
+			}
+			for _, p := range s.Points[l] {
+				v := get(p)
+				rel := ""
+				if icount > 0 && p.Policy != "icount" {
+					rel = fmt.Sprintf(" (%+.1f%%)", 100*(v/icount-1))
+				}
+				row = append(row, f3(v)+rel)
+			}
+			tbl.AddRow(row...)
+		}
+		if lowerBetter {
+			tbl.Notes = append(tbl.Notes, "lower is better; percentages are relative to ICOUNT at the same point")
+		} else {
+			tbl.Notes = append(tbl.Notes, "higher is better; percentages are relative to ICOUNT at the same point")
+		}
+		return tbl.String()
+	}
+	return render("STP", func(p SweepPoint) float64 { return p.STP }, false) +
+		"\n" + render("ANTT", func(p SweepPoint) float64 { return p.ANTT }, true)
+}

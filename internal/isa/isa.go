@@ -1,0 +1,116 @@
+// Package isa defines the abstract micro-operation instruction set consumed
+// by the SMT pipeline model.
+//
+// The paper simulates Alpha binaries on SMTSIM; the fetch policies it studies
+// never inspect instructions beyond their class (is it a load? a branch?),
+// their program counter (all predictors are PC-indexed) and their register
+// dependences (which bound the exploitable ILP and serialize dependent
+// long-latency loads). This package therefore models exactly that surface: a
+// micro-op has a class, a PC, up to two source registers, one destination
+// register, and — for memory operations — an effective address.
+package isa
+
+import "fmt"
+
+// Class identifies the functional class of a micro-operation. The class
+// determines which functional unit executes the op and its execution latency.
+type Class uint8
+
+// Micro-operation classes. Branch ops execute on integer ALUs; Load and
+// Store use the load/store units; FPALU and FPMul use the floating-point
+// units (the baseline machine of Table IV has 4 int ALUs, 2 load/store units
+// and 2 FP units).
+const (
+	IntALU Class = iota // single-cycle integer operation
+	IntMul              // multi-cycle integer multiply
+	FPALU               // floating-point add/compare
+	FPMul               // floating-point multiply/divide (modelled uniformly)
+	Load                // memory read
+	Store               // memory write
+	Branch              // conditional or unconditional control transfer
+	numClasses
+)
+
+// NumClasses is the number of distinct micro-op classes.
+const NumClasses = int(numClasses)
+
+// String returns the conventional mnemonic for the class.
+func (c Class) String() string {
+	switch c {
+	case IntALU:
+		return "intalu"
+	case IntMul:
+		return "intmul"
+	case FPALU:
+		return "fpalu"
+	case FPMul:
+		return "fpmul"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Branch:
+		return "branch"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// IsMem reports whether the class accesses memory.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// IsFP reports whether the class executes on a floating-point unit.
+func (c Class) IsFP() bool { return c == FPALU || c == FPMul }
+
+// Register file shape. Dependences are expressed through architectural
+// registers; the pipeline renames them onto the physical register files of
+// Table IV (100 integer + 100 floating-point rename registers).
+const (
+	NumIntRegs = 32 // architectural integer registers
+	NumFPRegs  = 32 // architectural floating-point registers
+
+	// RegNone marks an absent operand.
+	RegNone int16 = -1
+)
+
+// FPRegBase offsets floating-point architectural register names so that a
+// single int16 namespace covers both files: integer registers are
+// [0, NumIntRegs), floating-point registers are [FPRegBase, FPRegBase+NumFPRegs).
+const FPRegBase int16 = 64
+
+// IsFPReg reports whether r names a floating-point architectural register.
+func IsFPReg(r int16) bool { return r >= FPRegBase }
+
+// Instr is one micro-operation in a thread's dynamic instruction stream.
+//
+// Seq is the position of the instruction in its thread's dynamic stream,
+// starting at 0; it is assigned by the trace generator and used by the
+// pipeline for flush bookkeeping (flush everything younger than sequence s).
+type Instr struct {
+	Seq    uint64 // dynamic sequence number within the thread
+	PC     uint64 // program counter (site address); predictors index on this
+	Class  Class  // functional class
+	Src1   int16  // first source architectural register, or RegNone
+	Src2   int16  // second source architectural register, or RegNone
+	Dest   int16  // destination architectural register, or RegNone
+	Addr   uint64 // effective address for Load/Store, else 0
+	Taken  bool   // actual branch outcome (Branch only)
+	Target uint64 // actual branch target (Branch only)
+}
+
+// HasDest reports whether the instruction writes a register.
+func (in *Instr) HasDest() bool { return in.Dest != RegNone }
+
+// String renders a compact human-readable form, useful in test failures.
+func (in *Instr) String() string {
+	switch in.Class {
+	case Load:
+		return fmt.Sprintf("#%d pc=%#x load r%d <- [%#x]", in.Seq, in.PC, in.Dest, in.Addr)
+	case Store:
+		return fmt.Sprintf("#%d pc=%#x store [%#x] <- r%d", in.Seq, in.PC, in.Addr, in.Src1)
+	case Branch:
+		return fmt.Sprintf("#%d pc=%#x branch taken=%t -> %#x", in.Seq, in.PC, in.Taken, in.Target)
+	default:
+		return fmt.Sprintf("#%d pc=%#x %s r%d <- r%d, r%d", in.Seq, in.PC, in.Class, in.Dest, in.Src1, in.Src2)
+	}
+}

@@ -1,0 +1,85 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		IntALU: "intalu",
+		IntMul: "intmul",
+		FPALU:  "fpalu",
+		FPMul:  "fpmul",
+		Load:   "load",
+		Store:  "store",
+		Branch: "branch",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Class(%d).String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if !strings.Contains(Class(200).String(), "200") {
+		t.Errorf("unknown class string %q should include the number", Class(200).String())
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	for c := Class(0); int(c) < NumClasses; c++ {
+		want := c == Load || c == Store
+		if c.IsMem() != want {
+			t.Errorf("%v.IsMem() = %t, want %t", c, c.IsMem(), want)
+		}
+	}
+}
+
+func TestIsFP(t *testing.T) {
+	for c := Class(0); int(c) < NumClasses; c++ {
+		want := c == FPALU || c == FPMul
+		if c.IsFP() != want {
+			t.Errorf("%v.IsFP() = %t, want %t", c, c.IsFP(), want)
+		}
+	}
+}
+
+func TestIsFPReg(t *testing.T) {
+	if IsFPReg(0) || IsFPReg(31) {
+		t.Error("integer registers classified as FP")
+	}
+	if !IsFPReg(FPRegBase) || !IsFPReg(FPRegBase+int16(NumFPRegs)-1) {
+		t.Error("FP registers not classified as FP")
+	}
+}
+
+func TestHasDest(t *testing.T) {
+	in := Instr{Dest: RegNone}
+	if in.HasDest() {
+		t.Error("RegNone dest reported as present")
+	}
+	in.Dest = 5
+	if !in.HasDest() {
+		t.Error("dest 5 reported as absent")
+	}
+	in.Dest = 0
+	if !in.HasDest() {
+		t.Error("dest r0 reported as absent")
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Seq: 1, PC: 0x40, Class: Load, Dest: 3, Addr: 0x1000}, "load"},
+		{Instr{Seq: 2, PC: 0x44, Class: Store, Src1: 4, Addr: 0x2000}, "store"},
+		{Instr{Seq: 3, PC: 0x48, Class: Branch, Taken: true, Target: 0x80}, "branch"},
+		{Instr{Seq: 4, PC: 0x4c, Class: IntALU, Dest: 1, Src1: 2, Src2: 3}, "intalu"},
+	}
+	for _, c := range cases {
+		if s := c.in.String(); !strings.Contains(s, c.want) {
+			t.Errorf("%+v.String() = %q, missing %q", c.in, s, c.want)
+		}
+	}
+}

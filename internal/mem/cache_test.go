@@ -1,0 +1,148 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testCache() *Cache {
+	return NewCache(CacheConfig{SizeBytes: 4096, Ways: 2, LineBytes: 64, Latency: 3})
+}
+
+func TestCacheGeometry(t *testing.T) {
+	c := testCache()
+	if c.Sets() != 32 {
+		t.Fatalf("sets = %d, want 32", c.Sets())
+	}
+	if c.Latency() != 3 {
+		t.Fatalf("latency = %d, want 3", c.Latency())
+	}
+}
+
+func TestCacheMissThenHit(t *testing.T) {
+	c := testCache()
+	if c.Lookup(100) {
+		t.Fatal("empty cache hit")
+	}
+	c.Insert(100)
+	if !c.Lookup(100) {
+		t.Fatal("inserted line missed")
+	}
+	if c.Accesses != 2 || c.Misses != 1 {
+		t.Fatalf("stats = %d/%d, want 2/1", c.Accesses, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := testCache() // 2 ways
+	sets := uint64(c.Sets())
+	a, b, d := uint64(1), 1+sets, 1+2*sets // same set
+	c.Insert(a)
+	c.Insert(b)
+	c.Lookup(a) // a most recent; b is LRU
+	evicted, had := c.Insert(d)
+	if !had || evicted != b {
+		t.Fatalf("evicted %d (had=%t), want %d", evicted, had, b)
+	}
+	if !c.Contains(a) || !c.Contains(d) || c.Contains(b) {
+		t.Fatal("LRU eviction kept/removed the wrong lines")
+	}
+}
+
+func TestCacheInsertExistingNoEviction(t *testing.T) {
+	c := testCache()
+	c.Insert(5)
+	if _, had := c.Insert(5); had {
+		t.Fatal("re-inserting an existing line evicted something")
+	}
+}
+
+func TestCacheDifferentSetsDoNotConflict(t *testing.T) {
+	c := testCache()
+	for line := uint64(0); line < uint64(c.Sets()); line++ {
+		c.Insert(line)
+	}
+	for line := uint64(0); line < uint64(c.Sets()); line++ {
+		if !c.Contains(line) {
+			t.Fatalf("line %d evicted despite distinct sets", line)
+		}
+	}
+}
+
+func TestCacheMissRate(t *testing.T) {
+	c := testCache()
+	if c.MissRate() != 0 {
+		t.Fatal("empty cache miss rate not 0")
+	}
+	c.Lookup(1)
+	c.Insert(1)
+	c.Lookup(1)
+	if mr := c.MissRate(); mr != 0.5 {
+		t.Fatalf("miss rate = %v, want 0.5", mr)
+	}
+}
+
+func TestQuickInsertThenContains(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 1 << 16, Ways: 4, LineBytes: 64, Latency: 1})
+	f := func(line uint64) bool {
+		c.Insert(line)
+		return c.Contains(line)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLBMissThenHit(t *testing.T) {
+	tlb := NewTLB(4, 8192)
+	if tlb.Lookup(0x10000) {
+		t.Fatal("empty TLB hit")
+	}
+	if !tlb.Lookup(0x10010) { // same page
+		t.Fatal("same-page access missed")
+	}
+	if tlb.Accesses != 2 || tlb.Misses != 1 {
+		t.Fatalf("stats %d/%d, want 2/1", tlb.Accesses, tlb.Misses)
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb := NewTLB(2, 8192)
+	tlb.Lookup(0 * 8192)
+	tlb.Lookup(1 * 8192)
+	tlb.Lookup(0 * 8192) // refresh page 0; page 1 is LRU
+	tlb.Lookup(2 * 8192) // evicts page 1
+	// Page 1 was evicted; the miss below re-installs it, evicting page 0
+	// (which became LRU once page 2 arrived).
+	if tlb.Lookup(1 * 8192) {
+		t.Fatal("evicted page still hit")
+	}
+	if !tlb.Lookup(2 * 8192) {
+		t.Fatal("recently used page was evicted")
+	}
+}
+
+func TestTLBPageGranularity(t *testing.T) {
+	tlb := NewTLB(16, 8192)
+	tlb.Lookup(0)
+	if !tlb.Lookup(8191) {
+		t.Fatal("last byte of page 0 missed")
+	}
+	if tlb.Lookup(8192) {
+		t.Fatal("first byte of page 1 hit without translation")
+	}
+}
+
+func TestTLBMissRate(t *testing.T) {
+	tlb := NewTLB(8, 8192)
+	if tlb.MissRate() != 0 {
+		t.Fatal("empty TLB miss rate not 0")
+	}
+	tlb.Lookup(0)
+	tlb.Lookup(0)
+	tlb.Lookup(0)
+	tlb.Lookup(0)
+	if mr := tlb.MissRate(); mr != 0.25 {
+		t.Fatalf("miss rate %v, want 0.25", mr)
+	}
+}

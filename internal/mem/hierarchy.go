@@ -1,0 +1,446 @@
+package mem
+
+import (
+	"sort"
+
+	"smtmlp/internal/prefetch"
+)
+
+// Config describes the whole data-side memory hierarchy.
+type Config struct {
+	LineBytes  int
+	L1, L2, L3 CacheConfig
+	MemLatency int64 // main memory access latency (the paper sweeps 200..800)
+
+	TLBEntries int
+	PageBytes  int
+
+	EnablePrefetch bool
+	Prefetch       prefetch.Config
+	// StreamBufferHitLatency is the load-to-use latency when a demand load
+	// finds its line already arrived in a stream buffer.
+	StreamBufferHitLatency int64
+
+	// SerializeLLL, when true, forces long-latency loads of the same thread
+	// to be serviced one at a time (used for the Table I MLP-impact study).
+	SerializeLLL bool
+
+	// Threads is the number of hardware contexts sharing the hierarchy
+	// (used to size per-thread accounting).
+	Threads int
+}
+
+// DefaultConfig returns the Table IV memory hierarchy with prefetching
+// enabled.
+func DefaultConfig(threads int) Config {
+	const line = 64
+	return Config{
+		LineBytes:              line,
+		L1:                     CacheConfig{SizeBytes: 64 << 10, Ways: 2, LineBytes: line, Latency: 2},
+		L2:                     CacheConfig{SizeBytes: 512 << 10, Ways: 8, LineBytes: line, Latency: 11},
+		L3:                     CacheConfig{SizeBytes: 4 << 20, Ways: 16, LineBytes: line, Latency: 35},
+		MemLatency:             350,
+		TLBEntries:             512,
+		PageBytes:              8 << 10,
+		EnablePrefetch:         true,
+		Prefetch:               prefetch.DefaultConfig(),
+		StreamBufferHitLatency: 4,
+		Threads:                threads,
+	}
+}
+
+// Level identifies where an access was satisfied.
+type Level uint8
+
+// Hierarchy levels, from closest to the core outwards.
+const (
+	LevelL1 Level = iota
+	LevelSB       // stream buffer (prefetched)
+	LevelL2
+	LevelL3
+	LevelMem
+)
+
+// String returns the level's conventional name.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelSB:
+		return "SB"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	case LevelMem:
+		return "MEM"
+	default:
+		return "?"
+	}
+}
+
+// Access is the outcome of a load or store.
+type Access struct {
+	Latency     int64 // cycles from issue to data availability
+	Level       Level // level that supplied the data
+	TLBMiss     bool
+	LongLatency bool // L3 miss or D-TLB miss: the paper's long-latency load
+}
+
+// mlpTracker accumulates the Chou et al. MLP statistic for one thread:
+// the average number of long-latency loads outstanding over the cycles in
+// which at least one is outstanding.
+type mlpTracker struct {
+	ends     []int64 // sorted completion cycles of outstanding LLLs
+	lastT    int64
+	weighted float64 // integral of outstanding count over busy cycles
+	busy     int64   // cycles with >= 1 outstanding
+	total    uint64  // number of long-latency loads observed
+}
+
+// advance moves accounting time forward to now, expiring completed loads.
+func (t *mlpTracker) advance(now int64) {
+	for len(t.ends) > 0 && t.ends[0] <= now {
+		end := t.ends[0]
+		if end > t.lastT {
+			dt := end - t.lastT
+			t.weighted += float64(len(t.ends)) * float64(dt)
+			t.busy += dt
+			t.lastT = end
+		}
+		t.ends = t.ends[1:]
+	}
+	if now > t.lastT {
+		if len(t.ends) > 0 {
+			dt := now - t.lastT
+			t.weighted += float64(len(t.ends)) * float64(dt)
+			t.busy += dt
+		}
+		t.lastT = now
+	}
+}
+
+func (t *mlpTracker) add(now, end int64) {
+	t.advance(now)
+	t.total++
+	i := sort.Search(len(t.ends), func(i int) bool { return t.ends[i] >= end })
+	t.ends = append(t.ends, 0)
+	copy(t.ends[i+1:], t.ends[i:])
+	t.ends[i] = end
+}
+
+// value returns the MLP statistic; 1.0 when no long-latency load has
+// completed (the convention Table I uses for benchmarks without misses).
+func (t *mlpTracker) value() float64 {
+	if t.busy == 0 {
+		return 1
+	}
+	return t.weighted / float64(t.busy)
+}
+
+// Hierarchy is the shared memory system. It is not safe for concurrent use;
+// the simulator is single-goroutine per core instance.
+type Hierarchy struct {
+	cfg        Config
+	lineShift  uint
+	l1, l2, l3 *Cache
+	tlb        *TLB
+	stride     *prefetch.StridePredictor
+	sbuf       *prefetch.Buffers
+
+	// outstanding maps a missing line to the cycle its fill completes, so a
+	// second access to an in-flight line merges with the first (MSHR
+	// coalescing) instead of starting a new memory access.
+	outstanding map[uint64]int64
+
+	// Per-thread accounting.
+	mlp       []mlpTracker
+	l1miss    []mlpTracker // outstanding below-L1 accesses (DCRA's slow/fast signal)
+	serialEnd []int64      // end of the last serialized LLL, per thread
+	outPerThr []int        // outstanding LLL count per thread (for DCRA/policies)
+	llThreads []uint64
+
+	// Statistics.
+	Loads        uint64
+	Stores       uint64
+	SBHits       uint64
+	TLBMisses    uint64
+	LongLatLoads uint64
+}
+
+// New returns an empty hierarchy for cfg.
+func New(cfg Config) *Hierarchy {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	shift := uint(0)
+	for (1 << shift) < cfg.LineBytes {
+		shift++
+	}
+	h := &Hierarchy{
+		cfg:         cfg,
+		lineShift:   shift,
+		l1:          NewCache(cfg.L1),
+		l2:          NewCache(cfg.L2),
+		l3:          NewCache(cfg.L3),
+		tlb:         NewTLB(cfg.TLBEntries, cfg.PageBytes),
+		outstanding: make(map[uint64]int64),
+		mlp:         make([]mlpTracker, cfg.Threads),
+		l1miss:      make([]mlpTracker, cfg.Threads),
+		serialEnd:   make([]int64, cfg.Threads),
+		outPerThr:   make([]int, cfg.Threads),
+		llThreads:   make([]uint64, cfg.Threads),
+	}
+	if cfg.EnablePrefetch {
+		h.stride = prefetch.NewStridePredictor(cfg.Prefetch)
+		h.sbuf = prefetch.NewBuffers(cfg.Prefetch)
+	}
+	return h
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Caches returns the three cache levels (test helper).
+func (h *Hierarchy) Caches() (l1, l2, l3 *Cache) { return h.l1, h.l2, h.l3 }
+
+// TLBMissRate returns the D-TLB miss rate so far.
+func (h *Hierarchy) TLBMissRate() float64 { return h.tlb.MissRate() }
+
+// line returns the cache line number of addr.
+func (h *Hierarchy) line(addr uint64) uint64 { return addr >> h.lineShift }
+
+// fillBelowL1 returns the latency of obtaining line from L2/L3/memory,
+// installing it in the outer levels, and registering the in-flight miss for
+// coalescing. It does not install into L1 (the caller decides, so prefetched
+// lines stay in the stream buffer until demanded).
+func (h *Hierarchy) fillBelowL1(lineNum uint64, now int64) (lat int64, level Level) {
+	if ready, ok := h.outstanding[lineNum]; ok && ready > now {
+		// Merge with the in-flight miss.
+		return ready - now, LevelMem
+	}
+	switch {
+	case h.l2.Lookup(lineNum):
+		return h.cfg.L2.Latency, LevelL2
+	case h.l3.Lookup(lineNum):
+		h.l2.Insert(lineNum)
+		return h.cfg.L3.Latency, LevelL3
+	default:
+		h.l3.Insert(lineNum)
+		h.l2.Insert(lineNum)
+		h.outstanding[lineNum] = now + h.cfg.MemLatency
+		return h.cfg.MemLatency, LevelMem
+	}
+}
+
+// expireOutstanding prunes resolved in-flight misses. Called opportunistically
+// to keep the map small.
+func (h *Hierarchy) expireOutstanding(now int64) {
+	if len(h.outstanding) < 4096 {
+		return
+	}
+	for l, ready := range h.outstanding {
+		if ready <= now {
+			delete(h.outstanding, l)
+		}
+	}
+}
+
+// Load performs a demand load by thread tid at address addr issued at cycle
+// now, returning its timing and classification. Long-latency loads (L3
+// misses and D-TLB misses) feed the per-thread MLP trackers.
+func (h *Hierarchy) Load(tid int, pc, addr uint64, now int64) Access {
+	h.Loads++
+	h.expireOutstanding(now)
+	lineNum := h.line(addr)
+
+	var acc Access
+
+	// Address translation. A D-TLB miss costs a memory access (page walk)
+	// and by the paper's definition makes the load long-latency.
+	if !h.tlb.Lookup(addr) {
+		h.TLBMisses++
+		acc.TLBMiss = true
+		acc.LongLatency = true
+		acc.Latency += h.cfg.MemLatency
+	}
+
+	// Stride training happens on every executed load.
+	var stride int64
+	var confident bool
+	if h.stride != nil {
+		stride, confident = h.stride.Observe(pc, addr)
+	}
+
+	switch {
+	case h.inFlight(lineNum, now):
+		// The line is still being filled from memory (MSHR merge): the
+		// load waits for the outstanding fill, regardless of the tags
+		// already installed for it.
+		wait := h.outstanding[lineNum] - now
+		acc.Latency += wait + h.cfg.L1.Latency
+		acc.Level = LevelMem
+		if wait > h.cfg.L3.Latency {
+			acc.LongLatency = true
+		}
+	case h.l1.Lookup(lineNum):
+		acc.Latency += h.cfg.L1.Latency
+		acc.Level = LevelL1
+	default:
+		// Probe stream buffers in parallel with the L1 miss.
+		if h.sbuf != nil {
+			if ready, hit := h.sbuf.Probe(lineNum, now, func(l uint64) int64 {
+				lat, _ := h.fillBelowL1(l, now)
+				return lat
+			}); hit {
+				h.SBHits++
+				wait := ready - now
+				if wait < 0 {
+					wait = 0
+				}
+				lat := h.cfg.StreamBufferHitLatency + wait
+				acc.Latency += lat
+				acc.Level = LevelSB
+				h.l1.Insert(lineNum)
+				// A prefetch that has not covered most of the memory latency
+				// still leaves the load long-latency in the paper's sense.
+				if wait > h.cfg.L3.Latency {
+					acc.LongLatency = true
+				}
+				break
+			}
+		}
+		lat, level := h.fillBelowL1(lineNum, now)
+		acc.Latency += lat
+		acc.Level = level
+		h.l1.Insert(lineNum)
+		if level == LevelMem {
+			acc.LongLatency = true
+		}
+		// Confident strides allocate a stream buffer on an L1 miss that also
+		// missed the buffers.
+		if h.sbuf != nil && confident {
+			ls := stride / int64(h.cfg.LineBytes)
+			if ls == 0 {
+				if stride > 0 {
+					ls = 1
+				} else {
+					ls = -1
+				}
+			}
+			h.sbuf.Allocate(lineNum, ls, now, func(l uint64) int64 {
+				lat, _ := h.fillBelowL1(l, now)
+				return lat
+			})
+		}
+	}
+
+	if acc.Level != LevelL1 {
+		h.l1miss[tid].add(now, now+acc.Latency)
+	}
+	if acc.LongLatency {
+		h.LongLatLoads++
+		h.llThreads[tid]++
+		start := now
+		if h.cfg.SerializeLLL {
+			// Force this long-latency load to begin service only after the
+			// previous one from the same thread has completed. The MLP
+			// tracker sees the service interval, not the queueing delay, so
+			// serialized runs measure an MLP of ~1 by construction.
+			if h.serialEnd[tid] > now {
+				extra := h.serialEnd[tid] - now
+				acc.Latency += extra
+				start = h.serialEnd[tid]
+			}
+			h.serialEnd[tid] = now + acc.Latency
+		}
+		h.mlp[tid].add(start, now+acc.Latency)
+	}
+	return acc
+}
+
+// Store performs a store by thread tid. Stores allocate like loads but are
+// never long-latency loads (the paper's policies key on loads only); the
+// returned latency bounds write-buffer occupancy.
+func (h *Hierarchy) Store(tid int, addr uint64, now int64) Access {
+	h.Stores++
+	lineNum := h.line(addr)
+	var acc Access
+	if !h.tlb.Lookup(addr) {
+		h.TLBMisses++
+		acc.TLBMiss = true
+		acc.Latency += h.cfg.MemLatency
+	}
+	if h.inFlight(lineNum, now) {
+		acc.Latency += h.outstanding[lineNum] - now + h.cfg.L1.Latency
+		acc.Level = LevelMem
+		return acc
+	}
+	if h.l1.Lookup(lineNum) {
+		acc.Latency += h.cfg.L1.Latency
+		acc.Level = LevelL1
+		return acc
+	}
+	lat, level := h.fillBelowL1(lineNum, now)
+	h.l1.Insert(lineNum)
+	acc.Latency += lat
+	acc.Level = level
+	return acc
+}
+
+// inFlight reports whether line has an outstanding memory fill at now.
+func (h *Hierarchy) inFlight(line uint64, now int64) bool {
+	ready, ok := h.outstanding[line]
+	return ok && ready > now
+}
+
+// OutstandingLLL reports how many long-latency loads of thread tid are
+// outstanding at cycle now.
+func (h *Hierarchy) OutstandingLLL(tid int, now int64) int {
+	h.mlp[tid].advance(now)
+	return len(h.mlp[tid].ends)
+}
+
+// OutstandingL1Miss reports how many loads of thread tid that missed the L1
+// are outstanding at cycle now — DCRA's signal for classifying a thread as
+// memory-intensive ("slow").
+func (h *Hierarchy) OutstandingL1Miss(tid int, now int64) int {
+	h.l1miss[tid].advance(now)
+	return len(h.l1miss[tid].ends)
+}
+
+// ThreadMLP finalizes accounting at endCycle and returns thread tid's MLP
+// (Chou et al. definition) together with its long-latency load count.
+func (h *Hierarchy) ThreadMLP(tid int, endCycle int64) (mlp float64, llls uint64) {
+	h.mlp[tid].advance(endCycle)
+	return h.mlp[tid].value(), h.llThreads[tid]
+}
+
+// ResetStats zeroes all measurement counters and MLP accounting while
+// keeping cache, TLB, predictor and stream-buffer contents — the warm-up
+// reset used before a measured simulation phase.
+func (h *Hierarchy) ResetStats(now int64) {
+	h.Loads, h.Stores, h.SBHits, h.TLBMisses, h.LongLatLoads = 0, 0, 0, 0, 0
+	h.l1.Accesses, h.l1.Misses = 0, 0
+	h.l2.Accesses, h.l2.Misses = 0, 0
+	h.l3.Accesses, h.l3.Misses = 0, 0
+	h.tlb.Accesses, h.tlb.Misses = 0, 0
+	for i := range h.mlp {
+		h.mlp[i].advance(now)
+		h.mlp[i].weighted, h.mlp[i].busy, h.mlp[i].total = 0, 0, 0
+		h.l1miss[i].advance(now)
+		h.llThreads[i] = 0
+	}
+	if h.sbuf != nil {
+		h.sbuf.Allocations, h.sbuf.Prefetches, h.sbuf.Hits = 0, 0, 0
+	}
+}
+
+// PrefetchStats returns stream-buffer statistics (zeros when prefetching is
+// disabled).
+func (h *Hierarchy) PrefetchStats() (allocations, prefetches, hits uint64) {
+	if h.sbuf == nil {
+		return 0, 0, 0
+	}
+	return h.sbuf.Allocations, h.sbuf.Prefetches, h.sbuf.Hits
+}

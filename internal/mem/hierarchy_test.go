@@ -1,0 +1,288 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// quietConfig returns the Table IV hierarchy without prefetching, so tests
+// can reason about individual levels.
+func quietConfig() Config {
+	cfg := DefaultConfig(1)
+	cfg.EnablePrefetch = false
+	return cfg
+}
+
+// warmTLB touches addr's page so later accesses measure cache levels only.
+func warmTLB(h *Hierarchy, addr uint64, now int64) {
+	h.Load(0, 0x999, addr, now)
+}
+
+func TestLoadLevelLatencies(t *testing.T) {
+	cfg := quietConfig()
+	h := New(cfg)
+	const addr = 0x100000
+	warmTLB(h, addr, 0) // fill in flight until MemLatency
+
+	// Second access after the fill completed: L1 hit.
+	if acc := h.Load(0, 1, addr, 1_000); acc.Level != LevelL1 || acc.Latency != cfg.L1.Latency {
+		t.Fatalf("L1 hit: got level %v latency %d", acc.Level, acc.Latency)
+	}
+
+	// First access to a line in the same (already translated) page: the
+	// line is not cached anywhere -> memory access.
+	acc := h.Load(0, 2, addr+4096-64, 2_000)
+	if acc.TLBMiss {
+		t.Fatal("same-page access missed the TLB")
+	}
+	if acc.Level != LevelMem || !acc.LongLatency {
+		t.Fatalf("cold line: got level %v, longLatency=%t", acc.Level, acc.LongLatency)
+	}
+	if acc.Latency != cfg.MemLatency {
+		t.Fatalf("memory latency %d, want %d", acc.Latency, cfg.MemLatency)
+	}
+}
+
+func TestTLBMissIsLongLatency(t *testing.T) {
+	h := New(quietConfig())
+	acc := h.Load(0, 1, 0x5000000, 0)
+	if !acc.TLBMiss || !acc.LongLatency {
+		t.Fatalf("first-touch access: TLBMiss=%t LongLatency=%t, want both true", acc.TLBMiss, acc.LongLatency)
+	}
+}
+
+func TestL2AndL3Hits(t *testing.T) {
+	cfg := quietConfig()
+	h := New(cfg)
+	const addr = 0x200000
+	warmTLB(h, addr, 0) // fill completes at cycle MemLatency+TLB walk
+
+	// Evict from L1 by filling its set: L1 is 64KB 2-way, 512 sets; lines
+	// mapping to the same set are 512 lines (32KB) apart. Large cycle gaps
+	// keep the fills from overlapping (no MSHR merges).
+	l1, _, _ := h.Caches()
+	setStride := uint64(l1.Sets() * cfg.LineBytes)
+	warmTLB(h, addr+setStride, 5_000)
+	warmTLB(h, addr+2*setStride, 10_000)
+	h.Load(0, 2, addr+setStride, 15_000)
+	h.Load(0, 3, addr+2*setStride, 20_000)
+
+	acc := h.Load(0, 4, addr, 25_000)
+	if acc.Level != LevelL2 || acc.Latency != cfg.L2.Latency {
+		t.Fatalf("expected L2 hit (lat %d), got %v lat %d", cfg.L2.Latency, acc.Level, acc.Latency)
+	}
+}
+
+func TestMSHRCoalescing(t *testing.T) {
+	cfg := quietConfig()
+	h := New(cfg)
+	const addr = 0x300000
+	warmTLB(h, addr+64, 0) // same page, different line
+
+	a := h.Load(0, 1, addr, 1_000)
+	if a.Level != LevelMem {
+		t.Fatalf("first access level %v, want MEM", a.Level)
+	}
+	// A second load to the same missing line 50 cycles later merges with
+	// the outstanding miss: remaining fill latency plus the L1 access.
+	b := h.Load(0, 2, addr, 1_050)
+	if want := cfg.MemLatency - 50 + cfg.L1.Latency; b.Latency != want {
+		t.Fatalf("coalesced latency %d, want %d", b.Latency, want)
+	}
+	// After the fill completes, the line hits in the L1.
+	c := h.Load(0, 3, addr, 1_000+cfg.MemLatency+1)
+	if c.Level != LevelL1 {
+		t.Fatalf("post-fill access level %v, want L1", c.Level)
+	}
+}
+
+func TestSerializeLLLMode(t *testing.T) {
+	cfg := quietConfig()
+	cfg.SerializeLLL = true
+	h := New(cfg)
+	// Two independent far misses issued the same cycle: the second must
+	// start after the first completes.
+	a := h.Load(0, 1, 0x10000000, 0)
+	b := h.Load(0, 2, 0x20000000, 0)
+	if !a.LongLatency || !b.LongLatency {
+		t.Fatal("far accesses not long-latency")
+	}
+	if b.Latency < a.Latency+cfg.MemLatency {
+		t.Fatalf("serialized latency %d not delayed past first (%d)", b.Latency, a.Latency)
+	}
+}
+
+func TestSerializeOnlyWithinThread(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.EnablePrefetch = false
+	cfg.SerializeLLL = true
+	h := New(cfg)
+	a := h.Load(0, 1, 0x10000000, 0)
+	b := h.Load(1, 2, 0x20000000, 0)
+	if b.Latency != a.Latency {
+		t.Fatalf("cross-thread serialization: %d vs %d", a.Latency, b.Latency)
+	}
+}
+
+func TestMLPAccountingOverlap(t *testing.T) {
+	cfg := quietConfig()
+	h := New(cfg)
+	// Two fully overlapping long-latency loads -> MLP 2.
+	h.Load(0, 1, 0x10000000, 0)
+	h.Load(0, 2, 0x20000000, 0)
+	end := int64(10000)
+	mlp, llls := h.ThreadMLP(0, end)
+	if llls != 2 {
+		t.Fatalf("LLL count %d, want 2", llls)
+	}
+	if mlp < 1.9 || mlp > 2.0 {
+		t.Fatalf("MLP %v, want ~2.0", mlp)
+	}
+}
+
+func TestMLPAccountingSerial(t *testing.T) {
+	cfg := quietConfig()
+	h := New(cfg)
+	h.Load(0, 1, 0x10000000, 0)
+	// Second miss starts long after the first finished.
+	h.Load(0, 2, 0x20000000, 10*cfg.MemLatency)
+	mlp, _ := h.ThreadMLP(0, 20*cfg.MemLatency)
+	if mlp > 1.01 {
+		t.Fatalf("non-overlapping misses produced MLP %v", mlp)
+	}
+}
+
+func TestMLPDefaultIsOne(t *testing.T) {
+	h := New(quietConfig())
+	if mlp, llls := h.ThreadMLP(0, 100); mlp != 1 || llls != 0 {
+		t.Fatalf("empty thread MLP=%v llls=%d, want 1/0", mlp, llls)
+	}
+}
+
+func TestStreamPrefetchingCoversStrides(t *testing.T) {
+	cfg := DefaultConfig(1) // prefetch on
+	h := New(cfg)
+	base := uint64(0x40000000)
+	now := int64(0)
+	misses := 0
+	// Walk 4096 sequential 8-byte elements (512 lines); after the stride
+	// predictor gains confidence, stream buffers should cover line
+	// crossings.
+	for i := 0; i < 4096; i++ {
+		acc := h.Load(0, 0x1234, base+uint64(i*8), now)
+		now += 10
+		if i > 512 && acc.LongLatency {
+			misses++
+		}
+	}
+	if misses > 40 {
+		t.Fatalf("prefetcher left %d long-latency misses on a pure stream", misses)
+	}
+	if _, _, hits := h.PrefetchStats(); hits == 0 {
+		t.Fatal("no stream buffer hits recorded")
+	}
+}
+
+func TestRandomAccessesNotPrefetchable(t *testing.T) {
+	cfg := DefaultConfig(1)
+	h := New(cfg)
+	x := uint64(12345)
+	now := int64(0)
+	longLat := 0
+	for i := 0; i < 500; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		addr := 0x40000000 + x%(256<<20)
+		if h.Load(0, 0x55, addr, now).LongLatency {
+			longLat++
+		}
+		now += 1000
+	}
+	if longLat < 450 {
+		t.Fatalf("random far loads rarely long-latency: %d/500", longLat)
+	}
+}
+
+func TestStoreNeverLongLatency(t *testing.T) {
+	h := New(quietConfig())
+	acc := h.Store(0, 0x60000000, 0)
+	if acc.Level != LevelMem {
+		t.Fatalf("cold store level %v, want MEM", acc.Level)
+	}
+	if mlp, llls := h.ThreadMLP(0, 10000); llls != 0 || mlp != 1 {
+		t.Fatal("store counted as long-latency load")
+	}
+}
+
+func TestOutstandingL1Miss(t *testing.T) {
+	cfg := quietConfig()
+	h := New(cfg)
+	const addr = 0x70000000
+	warmTLB(h, addr+64, 0) // its own fill (TLB walk + memory) drains by 2*MemLatency
+	start := 2*cfg.MemLatency + 100
+	h.Load(0, 1, addr, start)
+	if n := h.OutstandingL1Miss(0, start+50); n != 1 {
+		t.Fatalf("outstanding L1 misses mid-fill = %d, want 1", n)
+	}
+	if n := h.OutstandingL1Miss(0, start+cfg.MemLatency+10); n != 0 {
+		t.Fatalf("outstanding L1 misses after completion = %d, want 0", n)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	h := New(DefaultConfig(1))
+	for i := 0; i < 100; i++ {
+		h.Load(0, uint64(i), uint64(0x40000000+i*64), int64(i*10))
+	}
+	h.ResetStats(10_000)
+	if h.Loads != 0 || h.LongLatLoads != 0 || h.TLBMisses != 0 {
+		t.Fatal("ResetStats left counters non-zero")
+	}
+	if mlp, llls := h.ThreadMLP(0, 20_000); llls != 0 || mlp != 1 {
+		t.Fatalf("ResetStats left MLP accounting: mlp=%v llls=%d", mlp, llls)
+	}
+	// Cache contents survive: the touched lines still hit.
+	if acc := h.Load(0, 1, 0x40000000, 20_000); acc.Level != LevelL1 {
+		t.Fatalf("ResetStats discarded cache contents (level %v)", acc.Level)
+	}
+}
+
+func TestQuickMLPAtLeastOne(t *testing.T) {
+	f := func(starts [8]uint16) bool {
+		var tr mlpTracker
+		now := int64(0)
+		for _, s := range starts {
+			now += int64(s % 500)
+			tr.add(now, now+350)
+		}
+		tr.advance(now + 1000)
+		return tr.value() >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMLPTrackerExactIntegral(t *testing.T) {
+	var tr mlpTracker
+	// [0,100) one outstanding; [50,100) a second -> busy 100, weighted 150.
+	tr.add(0, 100)
+	tr.add(50, 100)
+	tr.advance(200)
+	if tr.busy != 100 {
+		t.Fatalf("busy = %d, want 100", tr.busy)
+	}
+	if tr.value() != 1.5 {
+		t.Fatalf("MLP = %v, want 1.5", tr.value())
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	names := map[Level]string{LevelL1: "L1", LevelSB: "SB", LevelL2: "L2", LevelL3: "L3", LevelMem: "MEM"}
+	for l, s := range names {
+		if l.String() != s {
+			t.Errorf("Level(%d) = %q, want %q", l, l.String(), s)
+		}
+	}
+}

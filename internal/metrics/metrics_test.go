@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSTPDefinition(t *testing.T) {
+	// Two threads, each running at half its single-threaded speed: STP = 1.
+	threads := []ThreadPerf{
+		{CPIST: 1.0, CPIMT: 2.0},
+		{CPIST: 2.0, CPIMT: 4.0},
+	}
+	if got := STP(threads); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("STP = %v, want 1.0", got)
+	}
+}
+
+func TestSTPPerfectSharing(t *testing.T) {
+	// No slowdown at all: STP = n.
+	threads := []ThreadPerf{{CPIST: 1, CPIMT: 1}, {CPIST: 3, CPIMT: 3}}
+	if got := STP(threads); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("STP = %v, want 2.0", got)
+	}
+}
+
+func TestANTTDefinition(t *testing.T) {
+	threads := []ThreadPerf{
+		{CPIST: 1.0, CPIMT: 2.0}, // slowdown 2
+		{CPIST: 2.0, CPIMT: 8.0}, // slowdown 4
+	}
+	if got := ANTT(threads); math.Abs(got-3.0) > 1e-12 {
+		t.Fatalf("ANTT = %v, want 3.0", got)
+	}
+}
+
+func TestANTTEmpty(t *testing.T) {
+	if ANTT(nil) != 0 {
+		t.Fatal("ANTT(nil) != 0")
+	}
+}
+
+func TestSTPIgnoresZeroCPIMT(t *testing.T) {
+	threads := []ThreadPerf{{CPIST: 1, CPIMT: 0}, {CPIST: 1, CPIMT: 1}}
+	if got := STP(threads); got != 1 {
+		t.Fatalf("STP with a zero CPI_MT thread = %v, want 1", got)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("hmean(1,1,1) = %v", got)
+	}
+	// hmean(2, 6) = 2/(1/2 + 1/6) = 3.
+	if got := HarmonicMean([]float64{2, 6}); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("hmean(2,6) = %v, want 3", got)
+	}
+	if HarmonicMean(nil) != 0 {
+		t.Fatal("hmean(nil) != 0")
+	}
+}
+
+func TestHarmonicMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("hmean with zero did not panic")
+		}
+	}()
+	HarmonicMean([]float64{1, 0})
+}
+
+func TestArithmeticMean(t *testing.T) {
+	if got := ArithmeticMean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("amean = %v", got)
+	}
+	if ArithmeticMean(nil) != 0 {
+		t.Fatal("amean(nil) != 0")
+	}
+}
+
+func TestRelativeChange(t *testing.T) {
+	if got := RelativeChange(2, 3); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("RelativeChange(2,3) = %v", got)
+	}
+	if RelativeChange(0, 5) != 0 {
+		t.Fatal("RelativeChange from 0 should be 0")
+	}
+}
+
+func TestQuickANTTAtLeastOneWhenSlower(t *testing.T) {
+	f := func(st, slow [4]uint8) bool {
+		var threads []ThreadPerf
+		for i := range st {
+			cpiST := 1 + float64(st[i])/16
+			cpiMT := cpiST * (1 + float64(slow[i])/16) // always >= CPI_ST
+			threads = append(threads, ThreadPerf{CPIST: cpiST, CPIMT: cpiMT})
+		}
+		return ANTT(threads) >= 1 && STP(threads) <= float64(len(threads))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHarmonicLEArithmetic(t *testing.T) {
+	f := func(raw [5]uint8) bool {
+		var xs []float64
+		for _, r := range raw {
+			xs = append(xs, 0.1+float64(r))
+		}
+		return HarmonicMean(xs) <= ArithmeticMean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

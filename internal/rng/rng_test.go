@@ -1,0 +1,144 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverge at %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 equal values", same)
+	}
+}
+
+func TestZeroSeedRemapped(t *testing.T) {
+	s := New(0)
+	if v := s.Uint64(); v == 0 {
+		t.Fatal("zero seed produced zero output (stuck fixed point)")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Distribution(t *testing.T) {
+	s := New(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if mean < 0.48 || mean > 0.52 {
+		t.Fatalf("Float64 mean %v far from 0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(13)
+	count := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.25) {
+			count++
+		}
+	}
+	frac := float64(count) / n
+	if frac < 0.23 || frac > 0.27 {
+		t.Fatalf("Bool(0.25) frequency %v far from 0.25", frac)
+	}
+}
+
+func TestBoolExtremes(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 100; i++ {
+		if s.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !s.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestQuickSameSeedSameStream(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < int(n); i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUint64nInRange(t *testing.T) {
+	f := func(seed, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return New(seed).Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package sim drives simulations for the experiment harness: it builds
+// cores from benchmark names, runs single-threaded reference simulations
+// with CPI checkpoint profiles, runs multiprogrammed workloads under the
+// paper's stopping rule, and computes STP/ANTT following the paper's
+// methodology ("the single-threaded CPI_ST used in the formulas then equals
+// single-threaded CPI after x_i million instructions").
+//
+// A Runner caches single-threaded reference profiles per (config,
+// benchmark), so a sweep over policies reuses the same references the way
+// the paper's normalization does, and fans experiment units out over a
+// bounded number of goroutines (each simulation itself is single-threaded
+// and deterministic).
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"smtmlp/internal/bench"
+	"smtmlp/internal/core"
+	"smtmlp/internal/metrics"
+	"smtmlp/internal/policy"
+	"smtmlp/internal/trace"
+)
+
+// Params bundles the knobs shared by all experiments.
+type Params struct {
+	// Instructions is the per-thread instruction budget: multiprogram runs
+	// stop when the first thread commits this many (the paper uses 200M
+	// SimPoints; the harness defaults to a laptop-scale budget).
+	Instructions uint64
+
+	// Warmup is the number of instructions executed before statistics are
+	// reset (SimPoint-style warm-up: caches, TLBs and predictors train;
+	// compulsory misses fall outside the measurement). 0 means
+	// Instructions/4.
+	Warmup uint64
+
+	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// DefaultParams returns the harness defaults.
+func DefaultParams() Params {
+	return Params{Instructions: 300_000}
+}
+
+func (p Params) warmup() uint64 {
+	if p.Warmup > 0 {
+		return p.Warmup
+	}
+	return p.Instructions / 4
+}
+
+func (p Params) workers() int {
+	if p.Parallelism > 0 {
+		return p.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// models resolves benchmark names to trace models.
+func models(names []string) []trace.Model {
+	ms := make([]trace.Model, len(names))
+	for i, n := range names {
+		ms[i] = bench.MustGet(n).Model
+	}
+	return ms
+}
+
+// STProfile is a single-threaded reference run: a CPI checkpoint curve used
+// to evaluate CPI_ST at arbitrary instruction counts.
+type STProfile struct {
+	Benchmark string
+	Result    core.Result
+}
+
+// CPIAt returns the single-threaded CPI after n committed instructions,
+// interpolating between checkpoints (and extrapolating with the final
+// average CPI beyond the profile).
+func (p *STProfile) CPIAt(n uint64) float64 {
+	prof := p.Result.Profiles[0]
+	if n == 0 || len(prof) == 0 {
+		if p.Result.IPC[0] > 0 {
+			return 1 / p.Result.IPC[0]
+		}
+		return 0
+	}
+	for _, pt := range prof {
+		if pt.Instructions >= n {
+			return float64(pt.Cycles) / float64(pt.Instructions)
+		}
+	}
+	last := prof[len(prof)-1]
+	return float64(last.Cycles) / float64(last.Instructions)
+}
+
+// Runner executes simulations with a shared single-threaded reference cache.
+type Runner struct {
+	Params Params
+
+	mu      sync.Mutex
+	stCache map[string]*STProfile
+}
+
+// NewRunner returns a Runner with the given parameters.
+func NewRunner(p Params) *Runner {
+	if p.Instructions == 0 {
+		p = DefaultParams()
+	}
+	return &Runner{Params: p, stCache: make(map[string]*STProfile)}
+}
+
+// RunSingle simulates one benchmark alone on cfg (single-threaded mode of
+// the same SMT core) for the runner's instruction budget, after warm-up.
+func (r *Runner) RunSingle(cfg core.Config, benchmark string) core.Result {
+	_, res := r.RunSingleCore(cfg, benchmark)
+	return res
+}
+
+// RunSingleCore is RunSingle but also returns the core, so characterization
+// experiments can read predictor state (MLP distance histograms, accuracy
+// counters) after the run.
+func (r *Runner) RunSingleCore(cfg core.Config, benchmark string) (*core.Core, core.Result) {
+	c := core.New(cfg, models([]string{benchmark}), core.ICount{}, nil)
+	res := r.runWarm(c)
+	return c, res
+}
+
+// runWarm executes the warm-up phase, resets statistics and runs the
+// measured phase.
+func (r *Runner) runWarm(c *core.Core) core.Result {
+	if w := r.Params.warmup(); w > 0 {
+		c.Run(w)
+		c.ResetStats()
+	}
+	return c.Run(r.Params.Instructions)
+}
+
+// stKey builds the reference-cache key: the configuration fields that affect
+// single-threaded performance, plus the benchmark name.
+func stKey(cfg core.Config, benchmark string) string {
+	return fmt.Sprintf("%s|rob=%d|lsq=%d|iq=%d/%d|ren=%d/%d|mem=%d|pf=%t|w=%d",
+		benchmark, cfg.ROBSize, cfg.LSQSize, cfg.IQInt, cfg.IQFP,
+		cfg.RenameInt, cfg.RenameFP, cfg.Mem.MemLatency, cfg.Mem.EnablePrefetch,
+		cfg.FetchWidth)
+}
+
+// STReference returns (computing and caching as needed) the single-threaded
+// reference profile of benchmark under cfg's per-thread configuration.
+func (r *Runner) STReference(cfg core.Config, benchmark string) *STProfile {
+	key := stKey(cfg, benchmark)
+	r.mu.Lock()
+	if p, ok := r.stCache[key]; ok {
+		r.mu.Unlock()
+		return p
+	}
+	r.mu.Unlock()
+
+	res := r.RunSingle(cfg, benchmark)
+	p := &STProfile{Benchmark: benchmark, Result: res}
+
+	r.mu.Lock()
+	r.stCache[key] = p
+	r.mu.Unlock()
+	return p
+}
+
+// WorkloadResult is one multiprogram simulation with its system metrics.
+type WorkloadResult struct {
+	Workload bench.Workload
+	Policy   string
+	Result   core.Result
+	STP      float64
+	ANTT     float64
+	// PerThread holds the CPI pairs behind STP/ANTT, in workload order.
+	PerThread []metrics.ThreadPerf
+}
+
+// RunWorkload simulates the workload under the given fetch policy kind and
+// optional limiter, computing STP and ANTT against cached single-threaded
+// references at matched instruction counts.
+func (r *Runner) RunWorkload(cfg core.Config, w bench.Workload, kind policy.Kind, limiter core.Limiter) WorkloadResult {
+	c := core.New(cfg, models(w.Benchmarks), policy.New(kind), limiter)
+	res := r.runWarm(c)
+
+	name := kind.String()
+	if limiter != nil {
+		name = limiter.Name()
+	}
+	out := WorkloadResult{Workload: w, Policy: name, Result: res}
+	for i, b := range w.Benchmarks {
+		ref := r.STReference(cfg, b)
+		cpiST := ref.CPIAt(res.Committed[i])
+		cpiMT := 0.0
+		if res.Committed[i] > 0 {
+			cpiMT = float64(res.Cycles) / float64(res.Committed[i])
+		}
+		out.PerThread = append(out.PerThread, metrics.ThreadPerf{CPIST: cpiST, CPIMT: cpiMT})
+	}
+	out.STP = metrics.STP(out.PerThread)
+	out.ANTT = metrics.ANTT(out.PerThread)
+	return out
+}
+
+// Job is one simulation unit for Parallel.
+type Job func()
+
+// Parallel runs jobs over the runner's worker pool and waits for all.
+func (r *Runner) Parallel(jobs []Job) {
+	workers := r.Params.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			j()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan Job)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				j()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// PrimeSTReferences precomputes single-threaded references for the given
+// benchmarks in parallel (so later workload sweeps only read the cache).
+func (r *Runner) PrimeSTReferences(cfg core.Config, benchmarks []string) {
+	seen := map[string]bool{}
+	var jobs []Job
+	for _, b := range benchmarks {
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		b := b
+		jobs = append(jobs, func() { r.STReference(cfg, b) })
+	}
+	r.Parallel(jobs)
+}

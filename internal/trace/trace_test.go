@@ -1,0 +1,391 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smtmlp/internal/isa"
+)
+
+func testModel() Model {
+	return Model{
+		Name: "test", Seed: 1, Sites: 64,
+		LoadFrac: 0.25, StoreFrac: 0.10, BranchFrac: 0.15,
+		Bursts: 1, BurstLen: 3, BurstSpacing: 4, BurstPeriod: 2,
+		ChainSites: 1, DepDist: 3,
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewGenerator(testModel(), 0)
+	b := NewGenerator(testModel(), 0)
+	for i := 0; i < 5000; i++ {
+		ia, ib := a.Next(), b.Next()
+		if ia != ib {
+			t.Fatalf("streams diverge at %d:\n%v\n%v", i, &ia, &ib)
+		}
+	}
+}
+
+func TestThreadsGetDisjointAddressSpaces(t *testing.T) {
+	a := NewGenerator(testModel(), 0)
+	b := NewGenerator(testModel(), 1)
+	for i := 0; i < 1000; i++ {
+		ia, ib := a.Next(), b.Next()
+		if ia.Class.IsMem() && ib.Class.IsMem() && ia.Addr>>44 == ib.Addr>>44 {
+			t.Fatalf("threads share an address-space slot: %#x vs %#x", ia.Addr, ib.Addr)
+		}
+	}
+}
+
+func TestSequenceNumbersMonotonic(t *testing.T) {
+	g := NewGenerator(testModel(), 0)
+	for i := uint64(0); i < 2000; i++ {
+		if in := g.Next(); in.Seq != i {
+			t.Fatalf("Seq = %d at position %d", in.Seq, i)
+		}
+	}
+}
+
+func TestInstructionMix(t *testing.T) {
+	g := NewGenerator(testModel(), 0)
+	counts := make(map[isa.Class]int)
+	const n = 64_000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Class]++
+	}
+	loadFrac := float64(counts[isa.Load]) / n
+	storeFrac := float64(counts[isa.Store]) / n
+	branchFrac := float64(counts[isa.Branch]) / n
+	if loadFrac < 0.18 || loadFrac > 0.35 {
+		t.Errorf("load fraction %.3f far from model's 0.25", loadFrac)
+	}
+	if storeFrac < 0.05 || storeFrac > 0.15 {
+		t.Errorf("store fraction %.3f far from model's 0.10", storeFrac)
+	}
+	if branchFrac < 0.08 || branchFrac > 0.22 {
+		t.Errorf("branch fraction %.3f far from model's 0.15", branchFrac)
+	}
+}
+
+func TestRecurringPCs(t *testing.T) {
+	g := NewGenerator(testModel(), 0)
+	pcs := make(map[uint64]bool)
+	sites := g.Sites()
+	for i := 0; i < sites*4; i++ {
+		pcs[g.Next().PC] = true
+	}
+	if len(pcs) != sites {
+		t.Fatalf("distinct PCs %d, want %d (one per site)", len(pcs), sites)
+	}
+}
+
+func TestSiteBehaviorStable(t *testing.T) {
+	// The same PC must always carry the same class (PC-indexed predictors
+	// rely on it).
+	g := NewGenerator(testModel(), 0)
+	classOf := make(map[uint64]isa.Class)
+	for i := 0; i < 10_000; i++ {
+		in := g.Next()
+		if prev, ok := classOf[in.PC]; ok && prev != in.Class {
+			t.Fatalf("PC %#x changed class %v -> %v", in.PC, prev, in.Class)
+		}
+		classOf[in.PC] = in.Class
+	}
+}
+
+func TestChainLoadsAreDependent(t *testing.T) {
+	m := Model{
+		Name: "chains", Seed: 3, Sites: 32,
+		LoadFrac: 0.2, ChainSites: 1, ChainPeriod: 1, DepDist: 2,
+	}
+	g := NewGenerator(m, 0)
+	found := false
+	for i := 0; i < 1000; i++ {
+		in := g.Next()
+		if in.Class == isa.Load && in.Src1 >= chainRegFirst {
+			if in.Dest != in.Src1 {
+				t.Fatalf("chain load does not chase through its register: %v", &in)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no chain loads generated")
+	}
+}
+
+func TestBurstLoadsIndependentAndCold(t *testing.T) {
+	m := Model{
+		Name: "bursts", Seed: 4, Sites: 64,
+		LoadFrac: 0.2, Bursts: 1, BurstLen: 4, BurstSpacing: 2, BurstPeriod: 1,
+	}
+	g := NewGenerator(m, 0)
+	coldLoads := 0
+	for i := 0; i < 64*4; i++ {
+		in := g.Next()
+		if in.Class == isa.Load && in.Addr-g.addrBase >= coldBase {
+			coldLoads++
+			if in.Src1 != isa.RegNone {
+				t.Fatalf("burst load has an address dependence: %v", &in)
+			}
+		}
+	}
+	if coldLoads < 12 { // 4 per iteration, 4 iterations
+		t.Fatalf("cold burst loads %d, want >= 12", coldLoads)
+	}
+}
+
+func TestStreamAddressesSequential(t *testing.T) {
+	m := Model{Name: "stream", Seed: 5, Sites: 32, LoadFrac: 0.2, StreamSites: 1, StreamStride: 8}
+	g := NewGenerator(m, 0)
+	var prev uint64
+	seen := 0
+	for i := 0; i < 3200; i++ {
+		in := g.Next()
+		if in.Class == isa.Load && in.Addr-g.addrBase >= coldBase {
+			if seen > 0 && in.Addr != prev+8 {
+				t.Fatalf("stream not sequential: %#x after %#x", in.Addr, prev)
+			}
+			prev = in.Addr
+			seen++
+		}
+	}
+	if seen < 50 {
+		t.Fatalf("stream loads seen %d, want >= 50", seen)
+	}
+}
+
+func TestBranchesHaveOutcomes(t *testing.T) {
+	g := NewGenerator(testModel(), 0)
+	taken, notTaken := 0, 0
+	for i := 0; i < 10_000; i++ {
+		in := g.Next()
+		if in.Class == isa.Branch {
+			if in.Target == 0 {
+				t.Fatal("branch with zero target")
+			}
+			if in.Taken {
+				taken++
+			} else {
+				notTaken++
+			}
+		}
+	}
+	if taken == 0 || notTaken == 0 {
+		t.Fatalf("degenerate branch outcomes: taken=%d notTaken=%d", taken, notTaken)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	g := NewGenerator(Model{Name: "empty"}, 0)
+	if g.Sites() != 128 {
+		t.Fatalf("default sites %d, want 128", g.Sites())
+	}
+	// An all-defaults model must still generate valid instructions.
+	for i := 0; i < 1000; i++ {
+		g.Next()
+	}
+}
+
+// --- cursor ------------------------------------------------------------------
+
+func TestCursorFetchSequence(t *testing.T) {
+	c := NewCursor(NewGenerator(testModel(), 0))
+	for i := uint64(0); i < 100; i++ {
+		if in := c.Fetch(); in.Seq != i {
+			t.Fatalf("fetched seq %d, want %d", in.Seq, i)
+		}
+	}
+	if c.Pos() != 100 {
+		t.Fatalf("Pos() = %d, want 100", c.Pos())
+	}
+}
+
+func TestCursorRewindRedelivers(t *testing.T) {
+	c := NewCursor(NewGenerator(testModel(), 0))
+	first := make([]isa.Instr, 50)
+	for i := range first {
+		first[i] = c.Fetch()
+	}
+	c.Rewind(10)
+	for i := 10; i < 50; i++ {
+		if in := c.Fetch(); in != first[i] {
+			t.Fatalf("redelivered instruction %d differs:\n%v\n%v", i, &in, &first[i])
+		}
+	}
+}
+
+func TestCursorReleaseThenRewindPanics(t *testing.T) {
+	c := NewCursor(NewGenerator(testModel(), 0))
+	for i := 0; i < 50; i++ {
+		c.Fetch()
+	}
+	c.Release(20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rewind before the release point did not panic")
+		}
+	}()
+	c.Rewind(10)
+}
+
+func TestCursorReleaseBounds(t *testing.T) {
+	c := NewCursor(NewGenerator(testModel(), 0))
+	for i := 0; i < 30; i++ {
+		c.Fetch()
+	}
+	c.Release(9)
+	if c.InFlight() != 20 {
+		t.Fatalf("in flight after release = %d, want 20", c.InFlight())
+	}
+	c.Rewind(10) // oldest unreleased: fine
+	if c.Fetch().Seq != 10 {
+		t.Fatal("rewind to the release boundary broke")
+	}
+}
+
+func TestCursorReleaseIdempotent(t *testing.T) {
+	c := NewCursor(NewGenerator(testModel(), 0))
+	for i := 0; i < 10; i++ {
+		c.Fetch()
+	}
+	c.Release(5)
+	c.Release(3) // no-op: already released
+	c.Release(5) // no-op
+	if c.InFlight() != 4 {
+		t.Fatalf("in flight = %d, want 4", c.InFlight())
+	}
+}
+
+func TestQuickCursorRewindConsistency(t *testing.T) {
+	f := func(rewinds []uint8) bool {
+		c := NewCursor(NewGenerator(testModel(), 0))
+		reference := make(map[uint64]isa.Instr)
+		for i := 0; i < 64; i++ {
+			in := c.Fetch()
+			reference[in.Seq] = in
+		}
+		for _, r := range rewinds {
+			seq := uint64(r) % c.Pos()
+			c.Rewind(seq)
+			in := c.Fetch()
+			if ref, ok := reference[in.Seq]; ok && in != ref {
+				return false
+			}
+			// advance back to the frontier
+			for c.Pos() < 64 {
+				in := c.Fetch()
+				if ref, ok := reference[in.Seq]; ok && in != ref {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarmSitesStayInWarmRegion(t *testing.T) {
+	m := Model{Name: "warm", Seed: 6, Sites: 32, LoadFrac: 0.2, WarmSites: 2}
+	g := NewGenerator(m, 0)
+	warmLoads := 0
+	for i := 0; i < 3200; i++ {
+		in := g.Next()
+		if in.Class != isa.Load {
+			continue
+		}
+		off := in.Addr - g.addrBase
+		if off >= warmBase && off < coldBase {
+			warmLoads++
+		}
+	}
+	if warmLoads < 100 {
+		t.Fatalf("warm loads %d, want >= 100 (2 sites x 100 iterations)", warmLoads)
+	}
+}
+
+func TestFarUseFracCreatesConsumers(t *testing.T) {
+	m := Model{
+		Name: "consumers", Seed: 7, Sites: 64,
+		LoadFrac: 0.2, Bursts: 1, BurstLen: 2, BurstPeriod: 1, FarUseFrac: 1.0,
+	}
+	g := NewGenerator(m, 0)
+	consumers := 0
+	for i := 0; i < 6400; i++ {
+		in := g.Next()
+		if in.Class == isa.IntALU && in.Src1 >= farRegFirst && in.Src1 < farRegFirst+numFarRegs {
+			consumers++
+		}
+	}
+	if consumers == 0 {
+		t.Fatal("FarUseFrac=1 produced no far-load consumers")
+	}
+}
+
+func TestMissJitterAddsIrregularity(t *testing.T) {
+	mk := func(jitter float64) int {
+		m := Model{
+			Name: "jit", Seed: 8, Sites: 64,
+			LoadFrac: 0.2, Bursts: 1, BurstLen: 1, BurstPeriod: 16,
+			MissJitter: jitter,
+		}
+		g := NewGenerator(m, 0)
+		cold := 0
+		for i := 0; i < 64_000; i++ {
+			in := g.Next()
+			if in.Class == isa.Load && in.Addr-g.addrBase >= coldBase {
+				cold++
+			}
+		}
+		return cold
+	}
+	if noJit, jit := mk(0), mk(0.3); jit <= noJit {
+		t.Fatalf("jitter did not increase cold accesses: %d vs %d", jit, noJit)
+	}
+}
+
+func TestLoopBranchPeriodicity(t *testing.T) {
+	m := Model{Name: "loops", Seed: 9, Sites: 32, BranchFrac: 0.25, LoopPeriod: 4}
+	g := NewGenerator(m, 0)
+	// Find a loop-kind branch site: one whose outcome stream is exactly
+	// "3 taken, 1 not taken" repeating.
+	outcomes := map[uint64][]bool{}
+	for i := 0; i < 32*40; i++ {
+		in := g.Next()
+		if in.Class == isa.Branch {
+			outcomes[in.PC] = append(outcomes[in.PC], in.Taken)
+		}
+	}
+	foundLoop := false
+	for _, seq := range outcomes {
+		if len(seq) < 8 {
+			continue
+		}
+		periodic := true
+		for i := range seq {
+			if seq[i] != ((i+1)%4 != 0) {
+				periodic = false
+				break
+			}
+		}
+		if periodic {
+			foundLoop = true
+		}
+	}
+	if !foundLoop {
+		t.Fatal("no branch site shows the loop period-4 pattern")
+	}
+}
+
+func TestStoresCarrySources(t *testing.T) {
+	g := NewGenerator(testModel(), 0)
+	for i := 0; i < 5000; i++ {
+		in := g.Next()
+		if in.Class == isa.Store && in.Addr == 0 {
+			t.Fatal("store without an address")
+		}
+	}
+}

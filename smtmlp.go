@@ -1,0 +1,188 @@
+// Package smtmlp is a from-scratch reproduction of "Memory-Level Parallelism
+// Aware Fetch Policies for Simultaneous Multithreading Processors" (Eyerman
+// and Eeckhout, HPCA 2007 / ACM TACO 2009): a cycle-level SMT out-of-order
+// processor simulator with every fetch policy the paper evaluates, the MLP
+// predictors that are the paper's contribution, calibrated synthetic SPEC
+// CPU2000 workload models, and a harness that regenerates every table and
+// figure of the evaluation.
+//
+// This package is the public facade. A minimal session:
+//
+//	cfg := smtmlp.DefaultConfig(2)
+//	res := smtmlp.RunWorkload(cfg, smtmlp.Mix("mcf", "galgel"), smtmlp.MLPFlush, smtmlp.RunOptions{})
+//	fmt.Printf("STP %.3f ANTT %.3f\n", res.STP, res.ANTT)
+//
+// Lower-level building blocks (the pipeline, the memory hierarchy, the LLSR
+// and predictors, the trace generators) live in the internal packages and
+// are documented in DESIGN.md; cmd/repro regenerates the paper's evaluation
+// and cmd/smtsim runs ad-hoc workloads.
+package smtmlp
+
+import (
+	"smtmlp/internal/bench"
+	"smtmlp/internal/core"
+	"smtmlp/internal/policy"
+	"smtmlp/internal/sim"
+)
+
+// Config is the SMT processor configuration; DefaultConfig returns the
+// paper's Table IV baseline.
+type Config = core.Config
+
+// DefaultConfig returns the baseline SMT processor of Table IV for the given
+// number of hardware threads: 4-wide, ICOUNT 2.4 fetch, 256-entry shared
+// ROB, 128-entry LSQ, 64-entry issue queues, 100+100 rename registers,
+// 64KB/512KB/4MB cache hierarchy with stream-buffer prefetching, 350-cycle
+// memory latency.
+func DefaultConfig(threads int) Config { return core.DefaultConfig(threads) }
+
+// Policy selects the SMT fetch policy.
+type Policy = policy.Kind
+
+// The fetch policies of the paper's evaluation (Sections 4.3 and 6.5).
+const (
+	// ICount is the baseline ICOUNT 2.4 policy (Tullsen et al., ISCA 1996).
+	ICount = policy.ICount
+	// Stall fetch-stalls a thread on a detected long-latency load (Tullsen
+	// and Brown, MICRO 2001).
+	Stall = policy.Stall
+	// PredStall stalls on a front-end long-latency load prediction (Cazorla
+	// et al.).
+	PredStall = policy.PredStall
+	// MLPStall predicts the MLP distance m and stalls m instructions past a
+	// predicted long-latency load.
+	MLPStall = policy.MLPStall
+	// Flush flushes instructions past a detected long-latency load.
+	Flush = policy.Flush
+	// MLPFlush is the paper's headline policy: flush/stall m instructions
+	// past a detected long-latency load, where m is the predicted MLP
+	// distance.
+	MLPFlush = policy.MLPFlush
+	// BinaryFlush is the Section 6.5 alternative (c).
+	BinaryFlush = policy.BinaryFlush
+	// MLPFlushAtStall is the Section 6.5 alternative (d).
+	MLPFlushAtStall = policy.MLPFlushAtStall
+	// BinaryFlushAtStall is the Section 6.5 alternative (e).
+	BinaryFlushAtStall = policy.BinaryFlushAtStall
+)
+
+// Policies returns the six policies of the paper's main evaluation.
+func Policies() []Policy { return policy.Paper() }
+
+// Workload is a multiprogrammed mix of benchmarks.
+type Workload = bench.Workload
+
+// Mix builds an ad-hoc workload from benchmark names (see Benchmarks for
+// valid names).
+func Mix(names ...string) Workload { return bench.Workload{Benchmarks: names} }
+
+// Benchmarks returns the names of the 26 SPEC CPU2000 workload models in
+// Table I order.
+func Benchmarks() []string { return bench.Names() }
+
+// TwoThreadWorkloads returns the 36 workloads of Table II.
+func TwoThreadWorkloads() []Workload { return bench.TwoThreadWorkloads() }
+
+// FourThreadWorkloads returns the 30 workloads of Table III.
+func FourThreadWorkloads() []Workload { return bench.FourThreadWorkloads() }
+
+// RunOptions controls simulation length. The zero value selects laptop-scale
+// defaults (300K instructions per thread, one quarter of that as warm-up).
+type RunOptions struct {
+	// Instructions is the per-thread budget; the run stops when the first
+	// thread commits this many (the paper's stopping rule).
+	Instructions uint64
+	// Warmup instructions execute before statistics reset; 0 means
+	// Instructions/4.
+	Warmup uint64
+}
+
+func (o RunOptions) params() sim.Params {
+	p := sim.DefaultParams()
+	if o.Instructions > 0 {
+		p.Instructions = o.Instructions
+	}
+	p.Warmup = o.Warmup
+	return p
+}
+
+// SingleResult reports a single-threaded run.
+type SingleResult struct {
+	IPC                  float64
+	Cycles               int64
+	Instructions         uint64
+	LLLPer1K             float64 // long-latency loads per 1K instructions
+	MLP                  float64 // Chou et al. MLP
+	BranchMispredictRate float64
+}
+
+// RunSingle simulates one benchmark alone on cfg.
+func RunSingle(cfg Config, benchmark string, opts RunOptions) (SingleResult, error) {
+	if _, err := bench.Get(benchmark); err != nil {
+		return SingleResult{}, err
+	}
+	r := sim.NewRunner(opts.params())
+	res := r.RunSingle(cfg, benchmark)
+	return SingleResult{
+		IPC:                  res.IPC[0],
+		Cycles:               res.Cycles,
+		Instructions:         res.Committed[0],
+		LLLPer1K:             res.LLLPer1K[0],
+		MLP:                  res.MLP[0],
+		BranchMispredictRate: res.BranchMispredictRate[0],
+	}, nil
+}
+
+// ThreadResult reports one thread of a multiprogrammed run.
+type ThreadResult struct {
+	Benchmark string
+	IPC       float64
+	Committed uint64
+	LLLPer1K  float64
+	MLP       float64
+	Flushes   uint64
+	CPIST     float64 // single-threaded CPI at the same instruction count
+	CPIMT     float64 // multithreaded CPI in this run
+}
+
+// WorkloadResult reports a multiprogrammed run with the paper's system-level
+// metrics.
+type WorkloadResult struct {
+	Policy  string
+	Threads []ThreadResult
+	Cycles  int64
+	STP     float64 // system throughput; higher is better
+	ANTT    float64 // average normalized turnaround time; lower is better
+}
+
+// RunWorkload simulates a multiprogrammed workload under the given fetch
+// policy, computing STP and ANTT against single-threaded references at
+// matched instruction counts (the paper's methodology).
+func RunWorkload(cfg Config, w Workload, p Policy, opts RunOptions) (WorkloadResult, error) {
+	for _, n := range w.Benchmarks {
+		if _, err := bench.Get(n); err != nil {
+			return WorkloadResult{}, err
+		}
+	}
+	r := sim.NewRunner(opts.params())
+	res := r.RunWorkload(cfg, w, p, nil)
+	out := WorkloadResult{
+		Policy: res.Policy,
+		Cycles: res.Result.Cycles,
+		STP:    res.STP,
+		ANTT:   res.ANTT,
+	}
+	for i, b := range w.Benchmarks {
+		out.Threads = append(out.Threads, ThreadResult{
+			Benchmark: b,
+			IPC:       res.Result.IPC[i],
+			Committed: res.Result.Committed[i],
+			LLLPer1K:  res.Result.LLLPer1K[i],
+			MLP:       res.Result.MLP[i],
+			Flushes:   res.Result.Flushes[i],
+			CPIST:     res.PerThread[i].CPIST,
+			CPIMT:     res.PerThread[i].CPIMT,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package smtmlp
+
+import "testing"
+
+func TestBenchmarksList(t *testing.T) {
+	if len(Benchmarks()) != 26 {
+		t.Fatalf("Benchmarks() has %d entries, want 26", len(Benchmarks()))
+	}
+}
+
+func TestWorkloadTables(t *testing.T) {
+	if len(TwoThreadWorkloads()) != 36 {
+		t.Fatal("Table II size wrong")
+	}
+	if len(FourThreadWorkloads()) != 30 {
+		t.Fatal("Table III size wrong")
+	}
+}
+
+func TestPoliciesList(t *testing.T) {
+	ps := Policies()
+	if len(ps) != 6 {
+		t.Fatalf("Policies() has %d entries", len(ps))
+	}
+	if ps[0] != ICount || ps[5] != MLPFlush {
+		t.Fatal("policy ordering wrong")
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	res, err := RunSingle(DefaultConfig(1), "gcc", RunOptions{Instructions: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 || res.Instructions < 10_000 || res.Cycles <= 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+}
+
+func TestRunSingleUnknownBenchmark(t *testing.T) {
+	if _, err := RunSingle(DefaultConfig(1), "nope", RunOptions{}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestRunWorkload(t *testing.T) {
+	res, err := RunWorkload(DefaultConfig(2), Mix("swim", "twolf"), MLPFlush,
+		RunOptions{Instructions: 15_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "mlpflush" {
+		t.Fatalf("policy %q", res.Policy)
+	}
+	if len(res.Threads) != 2 {
+		t.Fatalf("threads %d", len(res.Threads))
+	}
+	if res.STP <= 0 || res.STP > 2 || res.ANTT < 1 {
+		t.Fatalf("metrics STP=%v ANTT=%v", res.STP, res.ANTT)
+	}
+	for _, th := range res.Threads {
+		if th.IPC <= 0 || th.Committed == 0 || th.CPIST <= 0 || th.CPIMT <= 0 {
+			t.Fatalf("bad thread result %+v", th)
+		}
+	}
+}
+
+func TestRunWorkloadUnknownBenchmark(t *testing.T) {
+	if _, err := RunWorkload(DefaultConfig(2), Mix("swim", "nope"), ICount, RunOptions{}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestDefaultConfigIsTableIV(t *testing.T) {
+	cfg := DefaultConfig(2)
+	if cfg.ROBSize != 256 || cfg.LSQSize != 128 || cfg.IQInt != 64 || cfg.IQFP != 64 {
+		t.Fatal("window sizes differ from Table IV")
+	}
+	if cfg.RenameInt != 100 || cfg.RenameFP != 100 {
+		t.Fatal("rename registers differ from Table IV")
+	}
+	if cfg.IntALUs != 4 || cfg.LdStUnits != 2 || cfg.FPUnits != 2 {
+		t.Fatal("functional units differ from Table IV")
+	}
+	if cfg.FetchWidth != 4 || cfg.FetchThreads != 2 {
+		t.Fatal("fetch policy is not ICOUNT 2.4")
+	}
+	if cfg.WriteBuffer != 8 || cfg.MispredictPenalty != 11 {
+		t.Fatal("write buffer / branch penalty differ from Table IV")
+	}
+	if cfg.Mem.MemLatency != 350 || cfg.Mem.L2.Latency != 11 || cfg.Mem.L3.Latency != 35 {
+		t.Fatal("memory latencies differ from Table IV")
+	}
+	if cfg.Mem.L1.SizeBytes != 64<<10 || cfg.Mem.L2.SizeBytes != 512<<10 || cfg.Mem.L3.SizeBytes != 4<<20 {
+		t.Fatal("cache sizes differ from Table IV")
+	}
+	if !cfg.Mem.EnablePrefetch || cfg.Mem.Prefetch.Buffers != 8 || cfg.Mem.Prefetch.Entries != 8 {
+		t.Fatal("prefetcher differs from Table IV")
+	}
+	if cfg.Mem.TLBEntries != 512 || cfg.Mem.PageBytes != 8<<10 {
+		t.Fatal("TLB differs from Table IV")
+	}
+}
