@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"smtmlp/internal/bench"
 	"smtmlp/internal/core"
@@ -22,6 +25,9 @@ func main() {
 	benchmark := flag.String("benchmark", "all", "benchmark name, or 'all'")
 	instructions := flag.Uint64("instructions", 300_000, "instruction budget")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	names := bench.Names()
 	if *benchmark != "all" {
@@ -38,11 +44,19 @@ func main() {
 	for _, name := range names {
 		cfg := core.DefaultConfig(1)
 		cfg.LLSRSize = 128
-		c, res := runner.RunSingleCore(cfg, name)
+		c, res, err := runner.RunSingleCoreCtx(ctx, cfg, name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 
 		serCfg := cfg
 		serCfg.Mem.SerializeLLL = true
-		ser := runner.RunSingle(serCfg, name)
+		ser, err := runner.RunSingleCtx(ctx, serCfg, name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		impact := 0.0
 		if ser.IPC[0] > 0 && res.IPC[0] > 0 {
 			cpiPar, cpiSer := 1/res.IPC[0], 1/ser.IPC[0]

@@ -13,10 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"smtmlp/internal/bench"
@@ -30,6 +33,11 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	only := flag.String("only", "", "comma-separated experiment subset (empty = all)")
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels the batch pools: in-flight simulations
+	// finish, queued ones drain immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	runner := sim.NewRunner(sim.Params{
 		Instructions: *instructions,
@@ -50,17 +58,17 @@ func main() {
 		run  func() fmt.Stringer
 	}
 	list := []experiment{
-		{"table1", func() fmt.Stringer { return experiments.TableI(runner) }},
-		{"fig4", func() fmt.Stringer { return experiments.Figure4(runner) }},
-		{"fig5", func() fmt.Stringer { return experiments.Figure5(runner) }},
-		{"predictors", func() fmt.Stringer { return predictorBundle{experiments.Predictors(runner)} }},
-		{"fig9-10", func() fmt.Stringer { return experiments.Figure9and10(runner) }},
-		{"fig11-12", func() fmt.Stringer { return ipcBundle{experiments.Figure9and10(runner)} }},
-		{"fig13-14", func() fmt.Stringer { return experiments.Figure13and14(runner) }},
-		{"fig15-16", func() fmt.Stringer { return experiments.Figure15and16(runner) }},
-		{"fig17-18", func() fmt.Stringer { return experiments.Figure17and18(runner) }},
-		{"fig20-21", func() fmt.Stringer { return experiments.Figure20and21(runner) }},
-		{"fig22-23", func() fmt.Stringer { return experiments.Figure22and23(runner) }},
+		{"table1", func() fmt.Stringer { return experiments.TableI(ctx, runner) }},
+		{"fig4", func() fmt.Stringer { return experiments.Figure4(ctx, runner) }},
+		{"fig5", func() fmt.Stringer { return experiments.Figure5(ctx, runner) }},
+		{"predictors", func() fmt.Stringer { return predictorBundle{experiments.Predictors(ctx, runner)} }},
+		{"fig9-10", func() fmt.Stringer { return experiments.Figure9and10(ctx, runner) }},
+		{"fig11-12", func() fmt.Stringer { return ipcBundle{experiments.Figure9and10(ctx, runner)} }},
+		{"fig13-14", func() fmt.Stringer { return experiments.Figure13and14(ctx, runner) }},
+		{"fig15-16", func() fmt.Stringer { return experiments.Figure15and16(ctx, runner) }},
+		{"fig17-18", func() fmt.Stringer { return experiments.Figure17and18(ctx, runner) }},
+		{"fig20-21", func() fmt.Stringer { return experiments.Figure20and21(ctx, runner) }},
+		{"fig22-23", func() fmt.Stringer { return experiments.Figure22and23(ctx, runner) }},
 	}
 
 	fmt.Printf("# MLP-aware SMT fetch policy reproduction — %d instructions/thread, warmup %d\n\n",
@@ -69,9 +77,19 @@ func main() {
 		if !want(e.name) {
 			continue
 		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "interrupted; stopping")
+			os.Exit(1)
+		}
 		start := time.Now()
 		res := e.run()
 		fmt.Printf("## %s (%.1fs)\n\n%s\n", e.name, time.Since(start).Seconds(), res)
+	}
+	// An interruption during the last experiment leaves it rendered with
+	// partial data; still report the run as interrupted.
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "interrupted; stopping")
+		os.Exit(1)
 	}
 	if len(selected) > 0 {
 		for name := range selected {
@@ -89,12 +107,7 @@ func main() {
 	}
 }
 
-func runnerWarmup(r *sim.Runner) uint64 {
-	if r.Params.Warmup > 0 {
-		return r.Params.Warmup
-	}
-	return r.Params.Instructions / 4
-}
+func runnerWarmup(r *sim.Runner) uint64 { return r.Params.EffectiveWarmup() }
 
 // predictorBundle renders Figures 6, 7 and 8 from one characterization run.
 type predictorBundle struct{ p experiments.PredictorsResult }

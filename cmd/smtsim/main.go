@@ -13,11 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"smtmlp/internal/bench"
 	"smtmlp/internal/core"
@@ -26,10 +29,12 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout))
 }
 
-func run(args []string, out io.Writer) int {
+func run(ctx context.Context, args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("smtsim", flag.ContinueOnError)
 	threads := fs.String("threads", "mcf,galgel", "comma-separated benchmark names")
 	policyName := fs.String("policy", "mlpflush", "fetch policy: icount, stall, pstall, mlpstall, flush, mlpflush, binflush, mlpflush-rs, binflush-rs")
@@ -67,7 +72,11 @@ func run(args []string, out io.Writer) int {
 	}
 
 	runner := sim.NewRunner(sim.Params{Instructions: *instructions, Warmup: *warmup})
-	res := runner.RunWorkload(core.DefaultConfig(len(names)), w, kind, limiter)
+	res, err := runner.RunWorkloadCtx(ctx, core.DefaultConfig(len(names)), w, kind, limiter)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
 
 	fmt.Fprintf(out, "workload: %s   policy: %s   instructions: %d/thread\n\n",
 		w.Name(), res.Policy, *instructions)

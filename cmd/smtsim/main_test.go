@@ -2,13 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunBasic(t *testing.T) {
 	var out bytes.Buffer
-	code := run([]string{"-threads", "swim,twolf", "-policy", "mlpflush",
+	code := run(context.Background(), []string{"-threads", "swim,twolf", "-policy", "mlpflush",
 		"-instructions", "10000"}, &out)
 	if code != 0 {
 		t.Fatalf("exit code %d", code)
@@ -23,7 +24,7 @@ func TestRunBasic(t *testing.T) {
 
 func TestRunWithLimiter(t *testing.T) {
 	var out bytes.Buffer
-	if code := run([]string{"-threads", "swim,twolf", "-limiter", "dcra",
+	if code := run(context.Background(), []string{"-threads", "swim,twolf", "-limiter", "dcra",
 		"-instructions", "8000"}, &out); code != 0 {
 		t.Fatalf("exit code %d", code)
 	}
@@ -34,21 +35,21 @@ func TestRunWithLimiter(t *testing.T) {
 
 func TestRunRejectsUnknownBenchmark(t *testing.T) {
 	var out bytes.Buffer
-	if code := run([]string{"-threads", "nope"}, &out); code == 0 {
+	if code := run(context.Background(), []string{"-threads", "nope"}, &out); code == 0 {
 		t.Fatal("unknown benchmark accepted")
 	}
 }
 
 func TestRunRejectsUnknownPolicy(t *testing.T) {
 	var out bytes.Buffer
-	if code := run([]string{"-threads", "swim,twolf", "-policy", "nope"}, &out); code == 0 {
+	if code := run(context.Background(), []string{"-threads", "swim,twolf", "-policy", "nope"}, &out); code == 0 {
 		t.Fatal("unknown policy accepted")
 	}
 }
 
 func TestRunRejectsUnknownLimiter(t *testing.T) {
 	var out bytes.Buffer
-	if code := run([]string{"-threads", "swim,twolf", "-limiter", "nope"}, &out); code == 0 {
+	if code := run(context.Background(), []string{"-threads", "swim,twolf", "-limiter", "nope"}, &out); code == 0 {
 		t.Fatal("unknown limiter accepted")
 	}
 }

@@ -1,0 +1,283 @@
+package smtmlp
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+)
+
+// fastEngineOptions keeps engine tests quick while exercising real
+// simulations.
+func fastEngineOptions() []Option {
+	return []Option{WithInstructions(8_000), WithWarmup(2_000), WithParallelism(4)}
+}
+
+func TestEngineOptionDefaults(t *testing.T) {
+	e := NewEngine()
+	if e.Instructions() != 300_000 {
+		t.Fatalf("default Instructions %d, want 300000", e.Instructions())
+	}
+	if e.Warmup() != 75_000 {
+		t.Fatalf("default Warmup %d, want Instructions/4", e.Warmup())
+	}
+	if e.Parallelism() != 0 {
+		t.Fatalf("default Parallelism %d, want 0 (GOMAXPROCS)", e.Parallelism())
+	}
+	if e.Cache() == nil || e.Cache().Len() != 0 {
+		t.Fatal("engine missing an empty private cache")
+	}
+	if runtime.GOMAXPROCS(0) < 1 {
+		t.Fatal("GOMAXPROCS broken")
+	}
+}
+
+func TestEngineOptionOverrides(t *testing.T) {
+	e := NewEngine(WithInstructions(10_000), WithWarmup(123), WithParallelism(3))
+	if e.Instructions() != 10_000 || e.Warmup() != 123 || e.Parallelism() != 3 {
+		t.Fatalf("options not applied: %d %d %d", e.Instructions(), e.Warmup(), e.Parallelism())
+	}
+	// Zero-value options keep the defaults rather than zeroing the budget.
+	e = NewEngine(WithInstructions(0))
+	if e.Instructions() != 300_000 {
+		t.Fatalf("WithInstructions(0) broke the default: %d", e.Instructions())
+	}
+	shared := NewCache(8)
+	e = NewEngine(WithCache(shared), WithCacheSize(999))
+	if e.Cache() != shared {
+		t.Fatal("WithCache not honored")
+	}
+}
+
+func TestEngineRunSingle(t *testing.T) {
+	e := NewEngine(WithInstructions(10_000))
+	res, err := e.RunSingle(context.Background(), DefaultConfig(1), "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 || res.Instructions < 10_000 || res.Cycles <= 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+}
+
+func TestEngineTypedErrors(t *testing.T) {
+	e := NewEngine(fastEngineOptions()...)
+	if _, err := e.RunSingle(context.Background(), DefaultConfig(1), "nope"); !errors.Is(err, ErrUnknownBenchmark) {
+		t.Fatalf("RunSingle unknown benchmark: %v", err)
+	}
+	if _, err := e.RunWorkload(context.Background(), DefaultConfig(2), Mix("swim", "nope"), ICount); !errors.Is(err, ErrUnknownBenchmark) {
+		t.Fatalf("RunWorkload unknown benchmark: %v", err)
+	}
+	// An empty workload must fail cleanly, not panic in the pipeline.
+	if _, err := e.RunWorkload(context.Background(), DefaultConfig(2), Workload{}, ICount); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.RunWorkload(ctx, DefaultConfig(2), Mix("swim", "twolf"), ICount)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled run: %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run: %v should also match context.Canceled", err)
+	}
+
+	// Batch: an unknown benchmark fails its request, not the batch.
+	reqs := []Request{
+		{Workload: Mix("swim", "twolf"), Config: DefaultConfig(2), Policy: ICount},
+		{Workload: Mix("bogus"), Config: DefaultConfig(1), Policy: ICount},
+	}
+	var okRuns, unknown int
+	for br := range e.RunBatch(context.Background(), reqs) {
+		switch {
+		case br.Err == nil:
+			okRuns++
+		case errors.Is(br.Err, ErrUnknownBenchmark):
+			unknown++
+		default:
+			t.Fatalf("unexpected batch error: %v", br.Err)
+		}
+	}
+	if okRuns != 1 || unknown != 1 {
+		t.Fatalf("batch outcomes ok=%d unknown=%d, want 1 and 1", okRuns, unknown)
+	}
+}
+
+// TestEngineRunBatchCrossProduct is the acceptance-criterion test: a
+// 6-policy x 4-workload cross-product on a bounded pool reproduces exactly
+// the STP/ANTT of sequential RunWorkload calls.
+func TestEngineRunBatchCrossProduct(t *testing.T) {
+	cfg := DefaultConfig(2)
+	workloads := TwoThreadWorkloads()[:4]
+	policies := Policies()
+	if len(policies) < 6 || len(workloads) < 4 {
+		t.Fatalf("cross-product too small: %d policies x %d workloads", len(policies), len(workloads))
+	}
+	reqs := CrossProduct(cfg, workloads, policies)
+	if len(reqs) != 24 {
+		t.Fatalf("cross-product built %d requests, want 24", len(reqs))
+	}
+
+	var calls []int
+	eng := NewEngine(append(fastEngineOptions(),
+		WithProgress(func(done, total int) {
+			if total != len(reqs) {
+				t.Errorf("progress total %d, want %d", total, len(reqs))
+			}
+			calls = append(calls, done)
+		}))...)
+
+	got := make([]WorkloadResult, len(reqs))
+	seen := make([]bool, len(reqs))
+	for br := range eng.RunBatch(context.Background(), reqs) {
+		if br.Err != nil {
+			t.Fatalf("request %d (%s): %v", br.Index, br.Request.Tag, br.Err)
+		}
+		if seen[br.Index] {
+			t.Fatalf("request %d delivered twice", br.Index)
+		}
+		seen[br.Index] = true
+		got[br.Index] = br.Result
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("request %d (%s) never delivered", i, reqs[i].Tag)
+		}
+	}
+	if len(calls) != len(reqs) || calls[len(calls)-1] != len(reqs) {
+		t.Fatalf("progress calls %v do not end at %d", calls, len(reqs))
+	}
+	for i := 1; i < len(calls); i++ {
+		if calls[i] != calls[i-1]+1 {
+			t.Fatalf("progress not monotonic: %v", calls)
+		}
+	}
+
+	// Sequential ground truth on a fresh engine (cold cache): values must
+	// match exactly — the simulator is deterministic.
+	seq := NewEngine(fastEngineOptions()...)
+	for i, req := range reqs {
+		want, err := seq.RunWorkload(context.Background(), req.Config, req.Workload, req.Policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].STP != want.STP || got[i].ANTT != want.ANTT || got[i].Cycles != want.Cycles {
+			t.Fatalf("%s: batch STP=%v ANTT=%v cycles=%d; sequential STP=%v ANTT=%v cycles=%d",
+				req.Tag, got[i].STP, got[i].ANTT, got[i].Cycles, want.STP, want.ANTT, want.Cycles)
+		}
+		if got[i].Policy != req.Policy.String() {
+			t.Fatalf("%s: policy label %q", req.Tag, got[i].Policy)
+		}
+	}
+}
+
+func TestEngineRunBatchCancellationDrains(t *testing.T) {
+	cfg := DefaultConfig(2)
+	w := Mix("swim", "twolf")
+	var reqs []Request
+	for i := 0; i < 24; i++ {
+		reqs = append(reqs, Request{Config: cfg, Workload: w, Policy: ICount})
+	}
+	eng := NewEngine(WithInstructions(8_000), WithWarmup(2_000), WithParallelism(2))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := eng.RunBatch(ctx, reqs)
+	first := <-ch
+	cancel()
+
+	delivered := 1
+	canceled := 0
+	if first.Err != nil {
+		t.Fatalf("first result already failed: %v", first.Err)
+	}
+	for br := range ch {
+		delivered++
+		if br.Err != nil {
+			if !errors.Is(br.Err, ErrCanceled) || !errors.Is(br.Err, context.Canceled) {
+				t.Fatalf("unexpected error after cancel: %v", br.Err)
+			}
+			canceled++
+		}
+	}
+	if delivered != len(reqs) {
+		t.Fatalf("canceled batch delivered %d results, want all %d (drain must be clean)", delivered, len(reqs))
+	}
+	if canceled == 0 {
+		t.Fatal("no request observed the cancellation")
+	}
+}
+
+// TestEngineSharedCache verifies the promoted reference cache: two engines
+// sharing one Cache compute each single-threaded reference once, and warm
+// results are identical to a cold engine's.
+func TestEngineSharedCache(t *testing.T) {
+	cfg := DefaultConfig(2)
+	w := Mix("mcf", "galgel")
+	shared := NewCache(32)
+
+	e1 := NewEngine(append(fastEngineOptions(), WithCache(shared))...)
+	warm1, err := e1.RunWorkload(context.Background(), cfg, w, MLPFlush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Len() == 0 {
+		t.Fatal("shared cache empty after a run")
+	}
+	_, missesAfter1, _ := shared.Stats()
+
+	e2 := NewEngine(append(fastEngineOptions(), WithCache(shared))...)
+	warm2, err := e2.RunWorkload(context.Background(), cfg, w, MLPFlush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfter2, _ := shared.Stats()
+	if missesAfter2 != missesAfter1 {
+		t.Fatalf("second engine recomputed references: misses %d -> %d", missesAfter1, missesAfter2)
+	}
+
+	cold, err := NewEngine(fastEngineOptions()...).RunWorkload(context.Background(), cfg, w, MLPFlush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm1.STP != cold.STP || warm1.ANTT != cold.ANTT ||
+		warm2.STP != cold.STP || warm2.ANTT != cold.ANTT {
+		t.Fatalf("shared-cache results (%v/%v, %v/%v) differ from cold (%v/%v)",
+			warm1.STP, warm1.ANTT, warm2.STP, warm2.ANTT, cold.STP, cold.ANTT)
+	}
+}
+
+// TestDeprecatedShimsMatchEngine pins the old free functions to the Engine
+// path they now delegate to.
+func TestDeprecatedShimsMatchEngine(t *testing.T) {
+	cfg := DefaultConfig(2)
+	w := Mix("swim", "twolf")
+	opts := RunOptions{Instructions: 8_000, Warmup: 2_000}
+
+	old, err := RunWorkload(cfg, w, MLPFlush, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(WithInstructions(8_000), WithWarmup(2_000)).
+		RunWorkload(context.Background(), cfg, w, MLPFlush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.STP != eng.STP || old.ANTT != eng.ANTT || old.Cycles != eng.Cycles {
+		t.Fatalf("shim result STP=%v ANTT=%v differs from engine STP=%v ANTT=%v",
+			old.STP, old.ANTT, eng.STP, eng.ANTT)
+	}
+
+	oldSingle, err := RunSingle(DefaultConfig(1), "gcc", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engSingle, err := NewEngine(WithInstructions(8_000), WithWarmup(2_000)).
+		RunSingle(context.Background(), DefaultConfig(1), "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldSingle != engSingle {
+		t.Fatalf("shim single %+v differs from engine %+v", oldSingle, engSingle)
+	}
+}

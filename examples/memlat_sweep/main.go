@@ -3,10 +3,17 @@
 // advantage over ICOUNT widens, because a stalled thread holds resources
 // for longer under ICOUNT.
 //
+// Each latency point is a different Config, so the batch spans
+// configurations as well as policies: RunBatch requests carry their own
+// Config, and the engine's reference cache keys on a full config hash, so
+// the four latency points normalize against four distinct single-threaded
+// references without interfering.
+//
 //	go run ./examples/memlat_sweep
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,22 +22,35 @@ import (
 
 func main() {
 	workload := smtmlp.Mix("swim", "twolf") // mixed MLP/ILP pair
-	opts := smtmlp.RunOptions{Instructions: 150_000}
+	latencies := []int64{200, 400, 600, 800}
+	eng := smtmlp.NewEngine(smtmlp.WithInstructions(150_000))
+
+	// One request per (latency, policy): the whole sweep is a single batch.
+	var reqs []smtmlp.Request
+	for _, lat := range latencies {
+		cfg := smtmlp.DefaultConfig(2)
+		cfg.Mem.MemLatency = lat
+		for _, p := range []smtmlp.Policy{smtmlp.ICount, smtmlp.MLPFlush} {
+			reqs = append(reqs, smtmlp.Request{
+				Tag:      fmt.Sprintf("mem=%d/%s", lat, p),
+				Config:   cfg,
+				Workload: workload,
+				Policy:   p,
+			})
+		}
+	}
+	results := make([]smtmlp.WorkloadResult, len(reqs))
+	for br := range eng.RunBatch(context.Background(), reqs) {
+		if br.Err != nil {
+			log.Fatalf("%s: %v", br.Request.Tag, br.Err)
+		}
+		results[br.Index] = br.Result
+	}
 
 	fmt.Println("workload swim+twolf: ICOUNT vs MLP-aware flush across memory latencies")
 	fmt.Printf("%-8s %12s %12s %14s\n", "latency", "STP icount", "STP mlpflush", "mlpflush gain")
-	for _, lat := range []int64{200, 400, 600, 800} {
-		cfg := smtmlp.DefaultConfig(2)
-		cfg.Mem.MemLatency = lat
-
-		base, err := smtmlp.RunWorkload(cfg, workload, smtmlp.ICount, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		aware, err := smtmlp.RunWorkload(cfg, workload, smtmlp.MLPFlush, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, lat := range latencies {
+		base, aware := results[2*i], results[2*i+1]
 		fmt.Printf("%-8d %12.3f %12.3f %+13.1f%%\n",
 			lat, base.STP, aware.STP, 100*(aware.STP/base.STP-1))
 	}

@@ -3,10 +3,16 @@
 // ILP-intensive, one MLP-intensive, and one mixed pair — and print a
 // Figure 9/10-style comparison.
 //
+// The whole policies x workloads cross-product goes through one
+// Engine.RunBatch call: requests fan out over a bounded worker pool,
+// results stream back in completion order, and Index restores the
+// deterministic submission order for printing.
+//
 //	go run ./examples/policy_compare
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,31 +20,35 @@ import (
 )
 
 func main() {
+	eng := smtmlp.NewEngine(smtmlp.WithInstructions(150_000))
 	cfg := smtmlp.DefaultConfig(2)
-	opts := smtmlp.RunOptions{Instructions: 150_000}
 
-	workloads := []struct {
-		label string
-		w     smtmlp.Workload
-	}{
-		{"ILP   (vortex+parser)", smtmlp.Mix("vortex", "parser")},
-		{"MLP   (swim+galgel)", smtmlp.Mix("swim", "galgel")},
-		{"mixed (swim+twolf)", smtmlp.Mix("swim", "twolf")},
+	labels := []string{"ILP   (vortex+parser)", "MLP   (swim+galgel)", "mixed (swim+twolf)"}
+	workloads := []smtmlp.Workload{
+		smtmlp.Mix("vortex", "parser"),
+		smtmlp.Mix("swim", "galgel"),
+		smtmlp.Mix("swim", "twolf"),
+	}
+	policies := smtmlp.Policies()
+
+	reqs := smtmlp.CrossProduct(cfg, workloads, policies)
+	results := make([]smtmlp.WorkloadResult, len(reqs))
+	for br := range eng.RunBatch(context.Background(), reqs) {
+		if br.Err != nil {
+			log.Fatalf("%s: %v", br.Request.Tag, br.Err)
+		}
+		results[br.Index] = br.Result
 	}
 
 	fmt.Printf("%-22s", "workload")
-	for _, p := range smtmlp.Policies() {
+	for _, p := range policies {
 		fmt.Printf("  %-16s", p)
 	}
 	fmt.Println()
-
-	for _, wl := range workloads {
-		fmt.Printf("%-22s", wl.label)
-		for _, p := range smtmlp.Policies() {
-			res, err := smtmlp.RunWorkload(cfg, wl.w, p, opts)
-			if err != nil {
-				log.Fatal(err)
-			}
+	for wi, label := range labels {
+		fmt.Printf("%-22s", label)
+		for pi := range policies {
+			res := results[wi*len(policies)+pi]
 			fmt.Printf("  STP %.2f A %.2f", res.STP, res.ANTT)
 		}
 		fmt.Println()

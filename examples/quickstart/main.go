@@ -1,10 +1,15 @@
 // Quickstart: run one two-thread workload under the baseline ICOUNT policy
 // and the paper's MLP-aware flush policy, and compare the system metrics.
+// The Engine is the package's entry point: it fixes the instruction budget
+// and shares single-threaded references between the three runs, so the
+// ICOUNT, flush and MLP-aware-flush results normalize against the same
+// cached profiles.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,13 +17,15 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	eng := smtmlp.NewEngine(smtmlp.WithInstructions(200_000))
+
 	cfg := smtmlp.DefaultConfig(2)
 	workload := smtmlp.Mix("mcf", "galgel") // an MLP-intensive pair from Table II
-	opts := smtmlp.RunOptions{Instructions: 200_000}
 
 	fmt.Printf("workload: mcf + galgel on the Table IV baseline SMT processor\n\n")
 	for _, p := range []smtmlp.Policy{smtmlp.ICount, smtmlp.Flush, smtmlp.MLPFlush} {
-		res, err := smtmlp.RunWorkload(cfg, workload, p, opts)
+		res, err := eng.RunWorkload(ctx, cfg, workload, p)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,3 @@
+module smtmlp
+
+go 1.24

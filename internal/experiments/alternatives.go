@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"smtmlp/internal/bench"
 	"smtmlp/internal/core"
 	"smtmlp/internal/metrics"
@@ -11,8 +13,8 @@ import (
 // Figure20and21 reproduces the alternative MLP-aware fetch policies study
 // (Section 6.5): policies (a)-(e) of Figure 19 over the three two-thread
 // workload groups, reported as STP (Figure 20) and ANTT (Figure 21).
-func Figure20and21(r *sim.Runner) PolicyComparison {
-	return comparePolicies(r, core.DefaultConfig(2), bench.TwoThreadWorkloads(), policy.Alternatives(),
+func Figure20and21(ctx context.Context, r *sim.Runner) PolicyComparison {
+	return comparePolicies(ctx, r, core.DefaultConfig(2), bench.TwoThreadWorkloads(), policy.Alternatives(),
 		"Figures 20 & 21 — alternative MLP-aware fetch policies (a=flush, b=mlpflush, c=binflush, d=mlpflush-rs, e=binflush-rs)")
 }
 
@@ -51,32 +53,27 @@ func partitionSchemes() []struct {
 }
 
 // Figure22and23 runs the partitioning comparison.
-func Figure22and23(r *sim.Runner) PartitioningResult {
+func Figure22and23(ctx context.Context, r *sim.Runner) PartitioningResult {
 	var out PartitioningResult
-	out.TwoThread = runPartitioning(r, core.DefaultConfig(2), bench.TwoThreadWorkloads())
-	out.FourThread = runPartitioning(r, core.DefaultConfig(4), bench.FourThreadWorkloads())
+	out.TwoThread = runPartitioning(ctx, r, core.DefaultConfig(2), bench.TwoThreadWorkloads())
+	out.FourThread = runPartitioning(ctx, r, core.DefaultConfig(4), bench.FourThreadWorkloads())
 	return out
 }
 
-func runPartitioning(r *sim.Runner, cfg core.Config, workloads []bench.Workload) []PartitioningRow {
+func runPartitioning(ctx context.Context, r *sim.Runner, cfg core.Config, workloads []bench.Workload) []PartitioningRow {
 	schemes := partitionSchemes()
-	var benchNames []string
-	for _, w := range workloads {
-		benchNames = append(benchNames, w.Benchmarks...)
-	}
-	r.PrimeSTReferences(cfg, benchNames)
-
-	results := make([]sim.WorkloadResult, len(workloads)*len(schemes))
-	var jobs []sim.Job
-	for wi, w := range workloads {
-		for si, s := range schemes {
-			wi, w, si, s := wi, w, si, s
-			jobs = append(jobs, func() {
-				results[wi*len(schemes)+si] = r.RunWorkload(cfg, w, s.kind, s.limiter)
-			})
+	// Submit scheme-major so the pool's first wave spans distinct
+	// workloads (see comparePolicies); results stay workload-major:
+	// results[wi*len(schemes)+si].
+	reqs := make([]sim.BatchRequest, 0, len(workloads)*len(schemes))
+	pos := make([]int, 0, len(workloads)*len(schemes))
+	for si, s := range schemes {
+		for wi, w := range workloads {
+			reqs = append(reqs, sim.BatchRequest{Config: cfg, Workload: w, Kind: s.kind, Limiter: s.limiter})
+			pos = append(pos, wi*len(schemes)+si)
 		}
 	}
-	r.Parallel(jobs)
+	results, finished := collectBatch(ctx, r, reqs, pos)
 
 	var rows []PartitioningRow
 	for _, class := range []bench.WorkloadClass{bench.ILPWorkload, bench.MLPWorkload, bench.MixedWorkload} {
@@ -86,7 +83,7 @@ func runPartitioning(r *sim.Runner, cfg core.Config, workloads []bench.Workload)
 		for si, s := range schemes {
 			var stps, antts []float64
 			for wi, w := range workloads {
-				if w.Class != class {
+				if w.Class != class || !finished[wi*len(schemes)+si] {
 					continue
 				}
 				res := results[wi*len(schemes)+si]

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"smtmlp/internal/bench"
@@ -35,7 +36,7 @@ type TableIResult struct {
 // each benchmark runs alone on the baseline, once normally and once with
 // long-latency loads artificially serialized; the CPI difference quantifies
 // the MLP impact.
-func TableI(r *sim.Runner) TableIResult {
+func TableI(ctx context.Context, r *sim.Runner) TableIResult {
 	names := bench.Names()
 	rows := make([]TableIRow, len(names))
 
@@ -45,11 +46,17 @@ func TableI(r *sim.Runner) TableIResult {
 		jobs = append(jobs, func() {
 			b := bench.MustGet(name)
 			cfg := core.DefaultConfig(1)
-			par := r.RunSingle(cfg, name)
+			par, err := r.RunSingleCtx(ctx, cfg, name)
+			if err != nil {
+				return
+			}
 
 			serCfg := cfg
 			serCfg.Mem.SerializeLLL = true
-			ser := r.RunSingle(serCfg, name)
+			ser, err := r.RunSingleCtx(ctx, serCfg, name)
+			if err != nil {
+				return
+			}
 
 			cpiPar := 1 / par.IPC[0]
 			cpiSer := 1 / ser.IPC[0]
@@ -119,7 +126,7 @@ type Figure4Result struct {
 // Figure4 reproduces Figure 4: run each of the six most MLP-intensive
 // programs single-threaded with a 128-entry LLSR and collect the
 // distribution of MLP distances the predictor learns.
-func Figure4(r *sim.Runner) Figure4Result {
+func Figure4(ctx context.Context, r *sim.Runner) Figure4Result {
 	names := bench.MostMLPIntensive(6)
 	out := Figure4Result{Benchmarks: names, CDF: make([][]float64, len(names))}
 	var jobs []sim.Job
@@ -128,7 +135,10 @@ func Figure4(r *sim.Runner) Figure4Result {
 		jobs = append(jobs, func() {
 			cfg := core.DefaultConfig(1)
 			cfg.LLSRSize = 128 // the paper's Figure 4 setup
-			c, _ := r.RunSingleCore(cfg, name)
+			c, _, err := r.RunSingleCoreCtx(ctx, cfg, name)
+			if err != nil {
+				return
+			}
 			out.CDF[i] = histToCDF(c.MLPState(0).DistanceHist)
 		})
 	}
@@ -195,7 +205,7 @@ type Figure5Result struct {
 }
 
 // Figure5 runs every benchmark single-threaded with and without prefetching.
-func Figure5(r *sim.Runner) Figure5Result {
+func Figure5(ctx context.Context, r *sim.Runner) Figure5Result {
 	names := bench.Names()
 	rows := make([]Figure5Row, len(names))
 	var jobs []sim.Job
@@ -205,8 +215,14 @@ func Figure5(r *sim.Runner) Figure5Result {
 			on := core.DefaultConfig(1)
 			off := core.DefaultConfig(1)
 			off.Mem.EnablePrefetch = false
-			with := r.RunSingle(on, name)
-			without := r.RunSingle(off, name)
+			with, err := r.RunSingleCtx(ctx, on, name)
+			if err != nil {
+				return
+			}
+			without, err := r.RunSingleCtx(ctx, off, name)
+			if err != nil {
+				return
+			}
 			rows[i] = Figure5Row{
 				Name:          name,
 				IPCNoPrefetch: without.IPC[0],
@@ -265,7 +281,7 @@ type PredictorsResult struct {
 }
 
 // Predictors runs the predictor characterization behind Figures 6-8.
-func Predictors(r *sim.Runner) PredictorsResult {
+func Predictors(ctx context.Context, r *sim.Runner) PredictorsResult {
 	names := bench.Names()
 	rows := make([]PredictorRow, len(names))
 	var jobs []sim.Job
@@ -274,7 +290,10 @@ func Predictors(r *sim.Runner) PredictorsResult {
 		jobs = append(jobs, func() {
 			cfg := core.DefaultConfig(1)
 			cfg.LLSRSize = 128
-			c, _ := r.RunSingleCore(cfg, name)
+			c, _, err := r.RunSingleCoreCtx(ctx, cfg, name)
+			if err != nil {
+				return
+			}
 			st := c.MLPState(0)
 			row := PredictorRow{
 				Name:            name,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestTableRendering(t *testing.T) {
 func TestTableIStructure(t *testing.T) {
 	// Classification needs enough instructions for rare-burst benchmarks
 	// (galgel's bursts recur every ~18K instructions) to miss at all.
-	res := TableI(sim.NewRunner(sim.Params{Instructions: 40_000, Warmup: 10_000}))
+	res := TableI(context.Background(), sim.NewRunner(sim.Params{Instructions: 40_000, Warmup: 10_000}))
 	if len(res.Rows) != 26 {
 		t.Fatalf("Table I has %d rows, want 26", len(res.Rows))
 	}
@@ -64,7 +65,7 @@ func TestTableIStructure(t *testing.T) {
 }
 
 func TestFigure4Structure(t *testing.T) {
-	res := Figure4(tinyRunner())
+	res := Figure4(context.Background(), tinyRunner())
 	if len(res.Benchmarks) != 6 {
 		t.Fatalf("Figure 4 covers %d benchmarks, want 6", len(res.Benchmarks))
 	}
@@ -87,7 +88,7 @@ func TestFigure4Structure(t *testing.T) {
 }
 
 func TestFigure5Structure(t *testing.T) {
-	res := Figure5(tinyRunner())
+	res := Figure5(context.Background(), tinyRunner())
 	if len(res.Rows) != 26 {
 		t.Fatalf("Figure 5 rows %d", len(res.Rows))
 	}
@@ -110,7 +111,7 @@ func TestFigure5Structure(t *testing.T) {
 }
 
 func TestPredictorsStructure(t *testing.T) {
-	res := Predictors(tinyRunner())
+	res := Predictors(context.Background(), tinyRunner())
 	if len(res.Rows) != 26 {
 		t.Fatalf("predictor rows %d", len(res.Rows))
 	}
@@ -136,7 +137,7 @@ func TestPredictorsStructure(t *testing.T) {
 func TestPolicyComparisonSubset(t *testing.T) {
 	r := tinyRunner()
 	workloads := bench.TwoThreadWorkloads()[:8] // 6 ILP + 2 MLP pairs
-	pc := comparePolicies(r, coreConfig2(), workloads, paperKinds(), "test")
+	pc := comparePolicies(context.Background(), r, coreConfig2(), workloads, paperKinds(), "test")
 	if len(pc.Policies) != 6 {
 		t.Fatalf("policies %v", pc.Policies)
 	}

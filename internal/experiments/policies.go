@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"smtmlp/internal/bench"
@@ -28,26 +29,25 @@ type PolicyComparison struct {
 	Workloads []sim.WorkloadResult // every individual run, for Figures 11/12
 }
 
-// comparePolicies runs workloads x kinds on cfg and aggregates per class.
-func comparePolicies(r *sim.Runner, cfg core.Config, workloads []bench.Workload, kinds []policy.Kind, title string) PolicyComparison {
-	// Prime the single-threaded references once, in parallel.
-	var benchNames []string
-	for _, w := range workloads {
-		benchNames = append(benchNames, w.Benchmarks...)
-	}
-	r.PrimeSTReferences(cfg, benchNames)
-
-	results := make([]sim.WorkloadResult, len(workloads)*len(kinds))
-	var jobs []sim.Job
-	for wi, w := range workloads {
-		for ki, k := range kinds {
-			wi, w, ki, k := wi, w, ki, k
-			jobs = append(jobs, func() {
-				results[wi*len(kinds)+ki] = r.RunWorkload(cfg, w, k, nil)
-			})
+// comparePolicies fans workloads x kinds over the runner's batch pool (the
+// single-flight reference cache deduplicates the single-threaded references
+// without an explicit priming pass) and aggregates per class.
+func comparePolicies(ctx context.Context, r *sim.Runner, cfg core.Config, workloads []bench.Workload, kinds []policy.Kind, title string) PolicyComparison {
+	// Submit policy-major so the pool's first wave spans distinct
+	// workloads: each worker computes its own workload's single-threaded
+	// references (the single-flight cache dedupes the rest) instead of the
+	// whole pool queueing behind one reference at a workload boundary.
+	reqs := make([]sim.BatchRequest, 0, len(workloads)*len(kinds))
+	pos := make([]int, 0, len(workloads)*len(kinds)) // submission index -> workload-major slot
+	for ki, k := range kinds {
+		for wi, w := range workloads {
+			reqs = append(reqs, sim.BatchRequest{Config: cfg, Workload: w, Kind: k})
+			pos = append(pos, wi*len(kinds)+ki)
 		}
 	}
-	r.Parallel(jobs)
+	// results is workload-major: results[wi*len(kinds)+ki] holds workload
+	// wi under policy ki, as the aggregation below expects.
+	results, finished := collectBatch(ctx, r, reqs, pos)
 
 	pc := PolicyComparison{
 		Title:     title,
@@ -65,7 +65,7 @@ func comparePolicies(r *sim.Runner, cfg core.Config, workloads []bench.Workload,
 		for ki, k := range kinds {
 			var stps, antts []float64
 			for wi, w := range workloads {
-				if w.Class != class {
+				if w.Class != class || !finished[wi*len(kinds)+ki] {
 					continue
 				}
 				res := results[wi*len(kinds)+ki]
@@ -85,16 +85,16 @@ func comparePolicies(r *sim.Runner, cfg core.Config, workloads []bench.Workload,
 // Figure9and10 reproduces the two-thread policy comparison: STP (Figure 9)
 // and ANTT (Figure 10) for ILP-, MLP- and mixed-intensive workload groups
 // under the six fetch policies.
-func Figure9and10(r *sim.Runner) PolicyComparison {
-	return comparePolicies(r, core.DefaultConfig(2), bench.TwoThreadWorkloads(), policy.Paper(),
+func Figure9and10(ctx context.Context, r *sim.Runner) PolicyComparison {
+	return comparePolicies(ctx, r, core.DefaultConfig(2), bench.TwoThreadWorkloads(), policy.Paper(),
 		"Figures 9 & 10 — STP and ANTT, two-thread workloads")
 }
 
 // Figure13and14 reproduces the four-thread policy comparison (Figures 13
 // and 14). The paper reports one average over all 30 workloads; the class
 // grouping (all-ILP / all-MLP / mixed) is also provided.
-func Figure13and14(r *sim.Runner) PolicyComparison {
-	return comparePolicies(r, core.DefaultConfig(4), bench.FourThreadWorkloads(), policy.Paper(),
+func Figure13and14(ctx context.Context, r *sim.Runner) PolicyComparison {
+	return comparePolicies(ctx, r, core.DefaultConfig(4), bench.FourThreadWorkloads(), policy.Paper(),
 		"Figures 13 & 14 — STP and ANTT, four-thread workloads")
 }
 

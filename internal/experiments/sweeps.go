@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"smtmlp/internal/bench"
@@ -28,35 +29,39 @@ type SweepResult struct {
 }
 
 // sweep runs all two-thread workloads under every paper policy at each
-// configuration point.
-func sweep(r *sim.Runner, title string, labels []string, configs []core.Config, workloads []bench.Workload) SweepResult {
+// configuration point. The whole configs x workloads x policies
+// cross-product goes through one batch, so the worker pool stays saturated
+// across configuration points and the reference cache deduplicates each
+// point's single-threaded references.
+func sweep(ctx context.Context, r *sim.Runner, title string, labels []string, configs []core.Config, workloads []bench.Workload) SweepResult {
 	kinds := policy.Paper()
 	out := SweepResult{Title: title, Labels: labels, Points: make(map[string][]SweepPoint)}
 
-	for li, cfg := range configs {
-		cfg := cfg
-		var benchNames []string
-		for _, w := range workloads {
-			benchNames = append(benchNames, w.Benchmarks...)
-		}
-		r.PrimeSTReferences(cfg, benchNames)
-
-		results := make([]sim.WorkloadResult, len(workloads)*len(kinds))
-		var jobs []sim.Job
-		for wi, w := range workloads {
-			for ki, k := range kinds {
-				wi, w, ki, k := wi, w, ki, k
-				jobs = append(jobs, func() {
-					results[wi*len(kinds)+ki] = r.RunWorkload(cfg, w, k, nil)
-				})
+	// Submit policy-major so the pool's first wave spans distinct
+	// (config, workload) pairs, computing their single-threaded references
+	// in parallel instead of queueing behind one reference per boundary.
+	perPoint := len(workloads) * len(kinds)
+	reqs := make([]sim.BatchRequest, 0, len(configs)*perPoint)
+	pos := make([]int, 0, len(configs)*perPoint) // submission index -> point-major slot
+	for ki, k := range kinds {
+		for li, cfg := range configs {
+			for wi, w := range workloads {
+				reqs = append(reqs, sim.BatchRequest{Config: cfg, Workload: w, Kind: k})
+				pos = append(pos, li*perPoint+wi*len(kinds)+ki)
 			}
 		}
-		r.Parallel(jobs)
+	}
+	// results is point-major: results[li*perPoint+wi*len(kinds)+ki].
+	results, finished := collectBatch(ctx, r, reqs, pos)
 
+	for li := range configs {
 		for ki, k := range kinds {
 			var stps, antts []float64
 			for wi := range workloads {
-				res := results[wi*len(kinds)+ki]
+				if !finished[li*perPoint+wi*len(kinds)+ki] {
+					continue
+				}
+				res := results[li*perPoint+wi*len(kinds)+ki]
 				stps = append(stps, res.STP)
 				antts = append(antts, res.ANTT)
 			}
@@ -73,7 +78,7 @@ func sweep(r *sim.Runner, title string, labels []string, configs []core.Config, 
 
 // Figure15and16 reproduces the main-memory latency sweep: STP (Figure 15)
 // and ANTT (Figure 16) across 200-800 cycles, all two-thread workloads.
-func Figure15and16(r *sim.Runner) SweepResult {
+func Figure15and16(ctx context.Context, r *sim.Runner) SweepResult {
 	var labels []string
 	var configs []core.Config
 	for _, lat := range []int64{200, 400, 600, 800} {
@@ -82,13 +87,13 @@ func Figure15and16(r *sim.Runner) SweepResult {
 		labels = append(labels, fmt.Sprintf("mem=%d", lat))
 		configs = append(configs, cfg)
 	}
-	return sweep(r, "Figures 15 & 16 — STP and ANTT vs main memory access latency (two-thread workloads)",
+	return sweep(ctx, r, "Figures 15 & 16 — STP and ANTT vs main memory access latency (two-thread workloads)",
 		labels, configs, bench.TwoThreadWorkloads())
 }
 
 // Figure17and18 reproduces the window size sweep: ROB 128-1024 with the
 // LSQ, issue queues and rename registers scaled proportionally.
-func Figure17and18(r *sim.Runner) SweepResult {
+func Figure17and18(ctx context.Context, r *sim.Runner) SweepResult {
 	var labels []string
 	var configs []core.Config
 	for _, rob := range []int{128, 256, 512, 1024} {
@@ -96,7 +101,7 @@ func Figure17and18(r *sim.Runner) SweepResult {
 		labels = append(labels, fmt.Sprintf("rob=%d", rob))
 		configs = append(configs, cfg)
 	}
-	return sweep(r, "Figures 17 & 18 — STP and ANTT vs processor window size (two-thread workloads)",
+	return sweep(ctx, r, "Figures 17 & 18 — STP and ANTT vs processor window size (two-thread workloads)",
 		labels, configs, bench.TwoThreadWorkloads())
 }
 

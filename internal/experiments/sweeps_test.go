@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestSweepStructure(t *testing.T) {
 	cfgA := core.DefaultConfig(2)
 	cfgB := core.DefaultConfig(2)
 	cfgB.Mem.MemLatency = 700
-	res := sweep(r, "test sweep", []string{"mem=350", "mem=700"},
+	res := sweep(context.Background(), r, "test sweep", []string{"mem=350", "mem=700"},
 		[]core.Config{cfgA, cfgB}, smallWorkloads())
 
 	if len(res.Labels) != 2 {
@@ -50,7 +51,7 @@ func TestSweepLatencyHurtsThroughput(t *testing.T) {
 	fast.Mem.MemLatency = 150
 	slow := core.DefaultConfig(2)
 	slow.Mem.MemLatency = 800
-	res := sweep(r, "lat", []string{"fast", "slow"},
+	res := sweep(context.Background(), r, "lat", []string{"fast", "slow"},
 		[]core.Config{fast, slow}, smallWorkloads())
 
 	// Raw throughput (IPC-level) degrades with latency; STP is normalized
@@ -83,7 +84,7 @@ func TestWindowScalingConfigs(t *testing.T) {
 
 func TestPartitioningSubset(t *testing.T) {
 	r := tinyRunner()
-	rows := runPartitioning(r, core.DefaultConfig(2), smallWorkloads())
+	rows := runPartitioning(context.Background(), r, core.DefaultConfig(2), smallWorkloads())
 	// 3 classes x 3 schemes.
 	if len(rows) != 9 {
 		t.Fatalf("partitioning rows %d, want 9", len(rows))
@@ -111,7 +112,7 @@ func TestPartitioningSubset(t *testing.T) {
 
 func TestAlternativesSubset(t *testing.T) {
 	r := tinyRunner()
-	pc := comparePolicies(r, core.DefaultConfig(2), smallWorkloads(), altKinds(), "alts")
+	pc := comparePolicies(context.Background(), r, core.DefaultConfig(2), smallWorkloads(), altKinds(), "alts")
 	if len(pc.Policies) != 5 {
 		t.Fatalf("alternative policies %v", pc.Policies)
 	}

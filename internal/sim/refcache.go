@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"smtmlp/internal/core"
+)
+
+// DefaultCacheSize is the reference-cache bound used when a caller does not
+// choose one: generous enough to hold a full Table II/III sweep (26
+// benchmarks x a handful of configuration points) without eviction.
+const DefaultCacheSize = 256
+
+// RefKey builds the reference-cache key for one single-threaded reference
+// run: the benchmark name, the measurement budget, and an FNV-64a hash of
+// the full processor configuration. Unlike the historical per-Runner cache
+// (which enumerated the handful of fields it believed mattered), the hash
+// covers every Config field — including the whole memory hierarchy and
+// branch predictor — so any config change yields a distinct key, up to the
+// negligible (~2^-64 per config pair) chance of a hash collision.
+func RefKey(cfg core.Config, benchmark string, instructions, warmup uint64) string {
+	h := fnv.New64a()
+	// Config is a tree of plain value structs (no pointers, maps or
+	// slices), so %+v is a deterministic full-value serialization.
+	fmt.Fprintf(h, "%+v", cfg)
+	return fmt.Sprintf("%s|i=%d|w=%d|cfg=%016x", benchmark, instructions, warmup, h.Sum64())
+}
+
+// RefCache is a concurrency-safe, size-bounded (LRU) cache of single-threaded
+// reference profiles. It is safe to share one RefCache between any number of
+// Runners and engines running concurrently; concurrent requests for the same
+// key are deduplicated so each reference simulation runs at most once
+// (single-flight), which is what makes batch sweeps cheap without an
+// explicit priming pass.
+type RefCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*refEntry
+	lru     *list.List // resident keys, front = most recently used
+
+	hits, misses, evictions uint64
+}
+
+// refEntry is one cache slot. ready is closed once prof/err are set; elem is
+// non-nil only for resident (successfully computed) entries.
+type refEntry struct {
+	ready chan struct{}
+	prof  *STProfile
+	err   error
+	elem  *list.Element
+}
+
+// NewRefCache returns a cache bounded to maxEntries resident profiles;
+// maxEntries <= 0 selects DefaultCacheSize.
+func NewRefCache(maxEntries int) *RefCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheSize
+	}
+	return &RefCache{
+		max:     maxEntries,
+		entries: make(map[string]*refEntry),
+		lru:     list.New(),
+	}
+}
+
+// Len reports the number of resident profiles (in-flight computations are
+// not counted).
+func (c *RefCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats reports lookup hits (including waits on an in-flight computation),
+// misses (computations started) and LRU evictions.
+func (c *RefCache) Stats() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// getOrCompute returns the cached profile for key, computing it with compute
+// on a miss. Concurrent callers with the same key share one computation; a
+// caller whose context is canceled while waiting returns early without
+// disturbing the computation. If the computing caller fails (its context was
+// canceled mid-run), the slot is vacated and waiters retry with their own
+// context.
+func (c *RefCache) getOrCompute(ctx context.Context, key string, compute func(context.Context) (*STProfile, error)) (*STProfile, error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			c.hits++
+			c.mu.Unlock()
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if e.err != nil {
+				// The computation failed and the slot was vacated;
+				// compute under our own context instead.
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			c.mu.Lock()
+			if e.elem != nil {
+				c.lru.MoveToFront(e.elem)
+			}
+			c.mu.Unlock()
+			return e.prof, nil
+		}
+		c.misses++
+		e := &refEntry{ready: make(chan struct{})}
+		c.entries[key] = e
+		c.mu.Unlock()
+
+		prof, err := compute(ctx)
+
+		c.mu.Lock()
+		if err != nil {
+			delete(c.entries, key)
+			e.err = err
+		} else {
+			e.prof = prof
+			e.elem = c.lru.PushFront(key)
+			for c.lru.Len() > c.max {
+				back := c.lru.Back()
+				c.lru.Remove(back)
+				delete(c.entries, back.Value.(string))
+				c.evictions++
+			}
+		}
+		c.mu.Unlock()
+		close(e.ready)
+		return prof, err
+	}
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"smtmlp/internal/core"
+)
+
+// fakeProfile builds a trivially valid profile for cache plumbing tests.
+func fakeProfile(name string) *STProfile {
+	return &STProfile{Benchmark: name, Result: core.Result{IPC: []float64{1}}}
+}
+
+func TestRefCacheLRUBound(t *testing.T) {
+	c := NewRefCache(2)
+	var computes int64
+	get := func(key string) {
+		t.Helper()
+		_, err := c.getOrCompute(context.Background(), key, func(context.Context) (*STProfile, error) {
+			atomic.AddInt64(&computes, 1)
+			return fakeProfile(key), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a")
+	get("b")
+	get("c") // evicts a (least recently used)
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want bound 2", c.Len())
+	}
+	get("b") // still resident: no recompute
+	if computes != 3 {
+		t.Fatalf("computes = %d after b rehit, want 3", computes)
+	}
+	get("a") // evicted: recomputes (and evicts c, the LRU after b's touch)
+	if computes != 4 {
+		t.Fatalf("computes = %d after a reload, want 4", computes)
+	}
+	get("c")
+	if computes != 5 {
+		t.Fatalf("computes = %d: touch on hit did not refresh b/a recency", computes)
+	}
+	_, misses, evictions := func() (uint64, uint64, uint64) { return c.Stats() }()
+	if misses != 5 || evictions != 3 {
+		t.Fatalf("stats misses=%d evictions=%d, want 5 and 3", misses, evictions)
+	}
+}
+
+func TestRefCacheSingleFlight(t *testing.T) {
+	c := NewRefCache(8)
+	var computes int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := c.getOrCompute(context.Background(), "k", func(context.Context) (*STProfile, error) {
+				atomic.AddInt64(&computes, 1)
+				<-release
+				return fakeProfile("k"), nil
+			})
+			if err != nil || p == nil {
+				t.Errorf("getOrCompute: %v %v", p, err)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("concurrent same-key lookups ran %d computations, want 1", computes)
+	}
+}
+
+func TestRefCacheWaiterCancellation(t *testing.T) {
+	c := NewRefCache(8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.getOrCompute(context.Background(), "k", func(context.Context) (*STProfile, error) {
+			close(started)
+			<-release
+			return fakeProfile("k"), nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.getOrCompute(ctx, "k", func(context.Context) (*STProfile, error) {
+		return fakeProfile("k"), nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter returned %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+func TestRefCacheFailedComputeVacatesSlot(t *testing.T) {
+	c := NewRefCache(8)
+	boom := errors.New("boom")
+	if _, err := c.getOrCompute(context.Background(), "k", func(context.Context) (*STProfile, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	// The failed slot must not poison later lookups.
+	p, err := c.getOrCompute(context.Background(), "k", func(context.Context) (*STProfile, error) {
+		return fakeProfile("k"), nil
+	})
+	if err != nil || p == nil {
+		t.Fatalf("slot poisoned after failed compute: %v %v", p, err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache Len %d, want 1", c.Len())
+	}
+}
+
+func TestRefKeyCoversFullConfig(t *testing.T) {
+	base := core.DefaultConfig(2)
+	key := RefKey(base, "gcc", 1000, 250)
+	if RefKey(base, "gcc", 1000, 250) != key {
+		t.Fatal("RefKey not deterministic")
+	}
+	// Fields the historical hand-enumerated key ignored must now matter.
+	variants := []core.Config{base, base, base, base}
+	variants[0].Mem.L2.SizeBytes *= 2
+	variants[1].Bpred.HistoryBits = 1
+	variants[2].MispredictPenalty++
+	variants[3].Mem.SerializeLLL = true
+	for i, v := range variants {
+		if RefKey(v, "gcc", 1000, 250) == key {
+			t.Errorf("variant %d: config change not reflected in key", i)
+		}
+	}
+	if RefKey(base, "mcf", 1000, 250) == key {
+		t.Error("benchmark not reflected in key")
+	}
+	if RefKey(base, "gcc", 2000, 250) == key || RefKey(base, "gcc", 1000, 500) == key {
+		t.Error("measurement budget not reflected in key")
+	}
+	for i := 0; i < len(key); i++ {
+		if key[i] == '\n' {
+			t.Fatal("key contains newline")
+		}
+	}
+	_ = fmt.Sprintf("%q", key)
+}

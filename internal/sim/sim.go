@@ -5,15 +5,18 @@
 // methodology ("the single-threaded CPI_ST used in the formulas then equals
 // single-threaded CPI after x_i million instructions").
 //
-// A Runner caches single-threaded reference profiles per (config,
-// benchmark), so a sweep over policies reuses the same references the way
-// the paper's normalization does, and fans experiment units out over a
-// bounded number of goroutines (each simulation itself is single-threaded
-// and deterministic).
+// A Runner draws single-threaded reference profiles from a RefCache — a
+// concurrency-safe, size-bounded cache keyed by benchmark, budget and a full
+// configuration hash — which may be private to the Runner or shared between
+// any number of concurrent Runners (the public smtmlp.Engine shares one per
+// engine, or across engines via smtmlp.WithCache). Simulation fan-out goes
+// through RunBatch, which spreads requests over a bounded worker pool with
+// context cancellation; each simulation itself is single-threaded and
+// deterministic.
 package sim
 
 import (
-	"fmt"
+	"context"
 	"runtime"
 	"sync"
 
@@ -46,12 +49,17 @@ func DefaultParams() Params {
 	return Params{Instructions: 300_000}
 }
 
-func (p Params) warmup() uint64 {
+// EffectiveWarmup resolves the warm-up budget: Warmup when set, otherwise
+// a quarter of the instruction budget. It is the single source of the
+// defaulting rule for callers that report or key on the warm-up.
+func (p Params) EffectiveWarmup() uint64 {
 	if p.Warmup > 0 {
 		return p.Warmup
 	}
 	return p.Instructions / 4
 }
+
+func (p Params) warmup() uint64 { return p.EffectiveWarmup() }
 
 func (p Params) workers() int {
 	if p.Parallelism > 0 {
@@ -77,8 +85,8 @@ type STProfile struct {
 }
 
 // CPIAt returns the single-threaded CPI after n committed instructions,
-// interpolating between checkpoints (and extrapolating with the final
-// average CPI beyond the profile).
+// linearly interpolating cumulative cycles between checkpoints (and
+// extrapolating with the final average CPI beyond the profile).
 func (p *STProfile) CPIAt(n uint64) float64 {
 	prof := p.Result.Profiles[0]
 	if n == 0 || len(prof) == 0 {
@@ -87,45 +95,84 @@ func (p *STProfile) CPIAt(n uint64) float64 {
 		}
 		return 0
 	}
+	var prevI uint64
+	var prevC int64
 	for _, pt := range prof {
 		if pt.Instructions >= n {
-			return float64(pt.Cycles) / float64(pt.Instructions)
+			di := pt.Instructions - prevI
+			if di == 0 {
+				return float64(pt.Cycles) / float64(pt.Instructions)
+			}
+			cycles := float64(prevC) + float64(pt.Cycles-prevC)*float64(n-prevI)/float64(di)
+			return cycles / float64(n)
 		}
+		prevI, prevC = pt.Instructions, pt.Cycles
 	}
 	last := prof[len(prof)-1]
 	return float64(last.Cycles) / float64(last.Instructions)
 }
 
-// Runner executes simulations with a shared single-threaded reference cache.
+// Runner executes simulations against a single-threaded reference cache.
 type Runner struct {
 	Params Params
 
-	mu      sync.Mutex
-	stCache map[string]*STProfile
+	refs *RefCache
 }
 
-// NewRunner returns a Runner with the given parameters.
+// NewRunner returns a Runner with the given parameters and a private
+// reference cache. A zero Instructions budget falls back to the harness
+// default; explicitly set Warmup and Parallelism are preserved either way.
 func NewRunner(p Params) *Runner {
-	if p.Instructions == 0 {
-		p = DefaultParams()
-	}
-	return &Runner{Params: p, stCache: make(map[string]*STProfile)}
+	return NewRunnerWithCache(p, NewRefCache(DefaultCacheSize))
 }
+
+// NewRunnerWithCache is NewRunner drawing single-threaded references from
+// (and publishing them to) the given shared cache.
+func NewRunnerWithCache(p Params, refs *RefCache) *Runner {
+	if p.Instructions == 0 {
+		p.Instructions = DefaultParams().Instructions
+	}
+	if refs == nil {
+		refs = NewRefCache(DefaultCacheSize)
+	}
+	return &Runner{Params: p, refs: refs}
+}
+
+// Refs returns the runner's reference cache.
+func (r *Runner) Refs() *RefCache { return r.refs }
 
 // RunSingle simulates one benchmark alone on cfg (single-threaded mode of
 // the same SMT core) for the runner's instruction budget, after warm-up.
 func (r *Runner) RunSingle(cfg core.Config, benchmark string) core.Result {
-	_, res := r.RunSingleCore(cfg, benchmark)
+	res, _ := r.RunSingleCtx(context.Background(), cfg, benchmark)
 	return res
+}
+
+// RunSingleCtx is RunSingle under a context: it returns the context's error
+// without simulating if ctx is already done. (A simulation in progress runs
+// to completion; cancellation is observed between simulations, which is the
+// granularity batch execution needs.)
+func (r *Runner) RunSingleCtx(ctx context.Context, cfg core.Config, benchmark string) (core.Result, error) {
+	_, res, err := r.RunSingleCoreCtx(ctx, cfg, benchmark)
+	return res, err
 }
 
 // RunSingleCore is RunSingle but also returns the core, so characterization
 // experiments can read predictor state (MLP distance histograms, accuracy
 // counters) after the run.
 func (r *Runner) RunSingleCore(cfg core.Config, benchmark string) (*core.Core, core.Result) {
+	c, res, _ := r.RunSingleCoreCtx(context.Background(), cfg, benchmark)
+	return c, res
+}
+
+// RunSingleCoreCtx is RunSingleCore under a context.
+func (r *Runner) RunSingleCoreCtx(ctx context.Context, cfg core.Config, benchmark string) (*core.Core, core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, core.Result{}, err
+	}
 	c := core.New(cfg, models([]string{benchmark}), core.ICount{}, nil)
 	res := r.runWarm(c)
-	return c, res
+	return c, res, nil
 }
 
 // runWarm executes the warm-up phase, resets statistics and runs the
@@ -138,33 +185,25 @@ func (r *Runner) runWarm(c *core.Core) core.Result {
 	return c.Run(r.Params.Instructions)
 }
 
-// stKey builds the reference-cache key: the configuration fields that affect
-// single-threaded performance, plus the benchmark name.
-func stKey(cfg core.Config, benchmark string) string {
-	return fmt.Sprintf("%s|rob=%d|lsq=%d|iq=%d/%d|ren=%d/%d|mem=%d|pf=%t|w=%d",
-		benchmark, cfg.ROBSize, cfg.LSQSize, cfg.IQInt, cfg.IQFP,
-		cfg.RenameInt, cfg.RenameFP, cfg.Mem.MemLatency, cfg.Mem.EnablePrefetch,
-		cfg.FetchWidth)
-}
-
 // STReference returns (computing and caching as needed) the single-threaded
 // reference profile of benchmark under cfg's per-thread configuration.
 func (r *Runner) STReference(cfg core.Config, benchmark string) *STProfile {
-	key := stKey(cfg, benchmark)
-	r.mu.Lock()
-	if p, ok := r.stCache[key]; ok {
-		r.mu.Unlock()
-		return p
-	}
-	r.mu.Unlock()
-
-	res := r.RunSingle(cfg, benchmark)
-	p := &STProfile{Benchmark: benchmark, Result: res}
-
-	r.mu.Lock()
-	r.stCache[key] = p
-	r.mu.Unlock()
+	p, _ := r.STReferenceCtx(context.Background(), cfg, benchmark)
 	return p
+}
+
+// STReferenceCtx is STReference under a context. Concurrent callers (from
+// any Runner sharing the cache) requesting the same reference share one
+// simulation.
+func (r *Runner) STReferenceCtx(ctx context.Context, cfg core.Config, benchmark string) (*STProfile, error) {
+	key := RefKey(cfg, benchmark, r.Params.Instructions, r.Params.warmup())
+	return r.refs.getOrCompute(ctx, key, func(ctx context.Context) (*STProfile, error) {
+		res, err := r.RunSingleCtx(ctx, cfg, benchmark)
+		if err != nil {
+			return nil, err
+		}
+		return &STProfile{Benchmark: benchmark, Result: res}, nil
+	})
 }
 
 // WorkloadResult is one multiprogram simulation with its system metrics.
@@ -182,6 +221,17 @@ type WorkloadResult struct {
 // optional limiter, computing STP and ANTT against cached single-threaded
 // references at matched instruction counts.
 func (r *Runner) RunWorkload(cfg core.Config, w bench.Workload, kind policy.Kind, limiter core.Limiter) WorkloadResult {
+	res, _ := r.RunWorkloadCtx(context.Background(), cfg, w, kind, limiter)
+	return res
+}
+
+// RunWorkloadCtx is RunWorkload under a context: it refuses to start once
+// ctx is done and propagates cancellation encountered while resolving the
+// single-threaded references.
+func (r *Runner) RunWorkloadCtx(ctx context.Context, cfg core.Config, w bench.Workload, kind policy.Kind, limiter core.Limiter) (WorkloadResult, error) {
+	if err := ctx.Err(); err != nil {
+		return WorkloadResult{}, err
+	}
 	c := core.New(cfg, models(w.Benchmarks), policy.New(kind), limiter)
 	res := r.runWarm(c)
 
@@ -191,7 +241,10 @@ func (r *Runner) RunWorkload(cfg core.Config, w bench.Workload, kind policy.Kind
 	}
 	out := WorkloadResult{Workload: w, Policy: name, Result: res}
 	for i, b := range w.Benchmarks {
-		ref := r.STReference(cfg, b)
+		ref, err := r.STReferenceCtx(ctx, cfg, b)
+		if err != nil {
+			return WorkloadResult{}, err
+		}
 		cpiST := ref.CPIAt(res.Committed[i])
 		cpiMT := 0.0
 		if res.Committed[i] > 0 {
@@ -201,7 +254,7 @@ func (r *Runner) RunWorkload(cfg core.Config, w bench.Workload, kind policy.Kind
 	}
 	out.STP = metrics.STP(out.PerThread)
 	out.ANTT = metrics.ANTT(out.PerThread)
-	return out
+	return out, nil
 }
 
 // Job is one simulation unit for Parallel.
@@ -238,7 +291,9 @@ func (r *Runner) Parallel(jobs []Job) {
 }
 
 // PrimeSTReferences precomputes single-threaded references for the given
-// benchmarks in parallel (so later workload sweeps only read the cache).
+// benchmarks in parallel. With the single-flight cache this is an
+// optimization, not a requirement: unprimed batch runs deduplicate the
+// reference simulations on their own.
 func (r *Runner) PrimeSTReferences(cfg core.Config, benchmarks []string) {
 	seen := map[string]bool{}
 	var jobs []Job

@@ -29,6 +29,22 @@ func TestDefaultParams(t *testing.T) {
 	}
 }
 
+// TestNewRunnerPreservesParams is the regression test for the historical bug
+// where a zero Instructions budget made NewRunner replace the entire Params
+// with DefaultParams(), silently discarding caller-set Warmup/Parallelism.
+func TestNewRunnerPreservesParams(t *testing.T) {
+	r := NewRunner(Params{Warmup: 7_000, Parallelism: 3})
+	if r.Params.Instructions != DefaultParams().Instructions {
+		t.Fatalf("Instructions %d not defaulted", r.Params.Instructions)
+	}
+	if r.Params.Warmup != 7_000 {
+		t.Fatalf("caller-set Warmup discarded: %d", r.Params.Warmup)
+	}
+	if r.Params.Parallelism != 3 {
+		t.Fatalf("caller-set Parallelism discarded: %d", r.Params.Parallelism)
+	}
+}
+
 func TestRunSingleCompletes(t *testing.T) {
 	r := testRunner()
 	res := r.RunSingle(core.DefaultConfig(1), "gcc")
@@ -70,9 +86,15 @@ func TestCPIAtInterpolation(t *testing.T) {
 	if got := prof.CPIAt(100); math.Abs(got-2.0) > 1e-9 {
 		t.Fatalf("CPIAt(100) = %v, want 2.0", got)
 	}
-	// Between checkpoints: the first checkpoint at or after n.
-	if got := prof.CPIAt(150); math.Abs(got-2.5) > 1e-9 {
-		t.Fatalf("CPIAt(150) = %v, want 2.5", got)
+	// Between checkpoints: cumulative cycles interpolate linearly, so at
+	// n=150 cycles = 200 + (500-200)*(150-100)/(200-100) = 350 and
+	// CPI = 350/150 = 7/3 — not the 2.5 a snap-to-next-checkpoint gives.
+	if got := prof.CPIAt(150); math.Abs(got-7.0/3.0) > 1e-9 {
+		t.Fatalf("CPIAt(150) = %v, want 7/3 (linear interpolation)", got)
+	}
+	// Below the first checkpoint: interpolate from the origin.
+	if got := prof.CPIAt(50); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("CPIAt(50) = %v, want 2.0", got)
 	}
 	// Beyond the profile: final cumulative CPI.
 	if got := prof.CPIAt(10_000); math.Abs(got-2.5) > 1e-9 {
@@ -148,10 +170,7 @@ func TestPrimeSTReferences(t *testing.T) {
 	r := testRunner()
 	cfg := core.DefaultConfig(2)
 	r.PrimeSTReferences(cfg, []string{"gcc", "gcc", "twolf"})
-	r.mu.Lock()
-	n := len(r.stCache)
-	r.mu.Unlock()
-	if n != 2 {
+	if n := r.Refs().Len(); n != 2 {
 		t.Fatalf("cache has %d entries, want 2 (deduplicated)", n)
 	}
 }

@@ -6,11 +6,23 @@
 // CPU2000 workload models, and a harness that regenerates every table and
 // figure of the evaluation.
 //
-// This package is the public facade. A minimal session:
+// This package is the public facade, organized around the Engine: a
+// long-lived, concurrency-safe handle configured with functional options
+// that owns the simulation parameters and a shared single-threaded
+// reference cache. A minimal session:
 //
-//	cfg := smtmlp.DefaultConfig(2)
-//	res := smtmlp.RunWorkload(cfg, smtmlp.Mix("mcf", "galgel"), smtmlp.MLPFlush, smtmlp.RunOptions{})
+//	eng := smtmlp.NewEngine(smtmlp.WithInstructions(300_000))
+//	res, err := eng.RunWorkload(context.Background(),
+//		smtmlp.DefaultConfig(2), smtmlp.Mix("mcf", "galgel"), smtmlp.MLPFlush)
+//	if err != nil { ... }
 //	fmt.Printf("STP %.3f ANTT %.3f\n", res.STP, res.ANTT)
+//
+// Sweep-shaped traffic — policy x workload x configuration cross-products —
+// goes through Engine.RunBatch, which fans requests over a bounded worker
+// pool with context cancellation and streams results back as they complete;
+// CrossProduct builds the request list. Engines sharing a Cache (see
+// WithCache) reuse each other's single-threaded references, the way a
+// long-running service amortizes them across requests.
 //
 // Lower-level building blocks (the pipeline, the memory hierarchy, the LLSR
 // and predictors, the trace generators) live in the internal packages and
@@ -19,6 +31,10 @@
 package smtmlp
 
 import (
+	"context"
+	"errors"
+	"fmt"
+
 	"smtmlp/internal/bench"
 	"smtmlp/internal/core"
 	"smtmlp/internal/policy"
@@ -86,8 +102,173 @@ func TwoThreadWorkloads() []Workload { return bench.TwoThreadWorkloads() }
 // FourThreadWorkloads returns the 30 workloads of Table III.
 func FourThreadWorkloads() []Workload { return bench.FourThreadWorkloads() }
 
-// RunOptions controls simulation length. The zero value selects laptop-scale
-// defaults (300K instructions per thread, one quarter of that as warm-up).
+// Typed errors. Wrap/compare with errors.Is; a canceled run also matches
+// the context package's own context.Canceled / context.DeadlineExceeded.
+var (
+	// ErrUnknownBenchmark reports a benchmark name outside the Table I
+	// catalog (see Benchmarks for valid names).
+	ErrUnknownBenchmark = errors.New("smtmlp: unknown benchmark")
+	// ErrCanceled reports a run abandoned because its context was canceled
+	// or its deadline expired.
+	ErrCanceled = errors.New("smtmlp: run canceled")
+)
+
+// canceledError wraps the context's error so that callers can match either
+// taxonomy: errors.Is(err, ErrCanceled) and errors.Is(err, context.Canceled)
+// both hold.
+type canceledError struct{ cause error }
+
+func (e *canceledError) Error() string        { return "smtmlp: run canceled: " + e.cause.Error() }
+func (e *canceledError) Unwrap() error        { return e.cause }
+func (e *canceledError) Is(target error) bool { return target == ErrCanceled }
+
+// wrapErr maps internal errors onto the package's typed errors.
+func wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &canceledError{cause: err}
+	}
+	return err
+}
+
+// checkBenchmarks validates every benchmark name of a workload. An empty
+// workload is rejected here so it surfaces as an error instead of a panic
+// from the pipeline (which requires at least one model).
+func checkBenchmarks(names []string) error {
+	if len(names) == 0 {
+		return errors.New("smtmlp: workload has no benchmarks")
+	}
+	for _, n := range names {
+		if _, err := bench.Get(n); err != nil {
+			return fmt.Errorf("%w: %q", ErrUnknownBenchmark, n)
+		}
+	}
+	return nil
+}
+
+// Cache holds single-threaded reference profiles keyed by benchmark,
+// measurement budget and a full configuration hash. It is safe for
+// concurrent use and size-bounded (LRU). Pass one Cache to several engines
+// via WithCache to share references between them — repeated sweeps and
+// concurrent engines then each compute a given reference at most once.
+type Cache struct{ refs *sim.RefCache }
+
+// NewCache returns a reference cache bounded to maxEntries profiles;
+// maxEntries <= 0 selects the default bound.
+func NewCache(maxEntries int) *Cache { return &Cache{refs: sim.NewRefCache(maxEntries)} }
+
+// Len reports the number of resident reference profiles.
+func (c *Cache) Len() int { return c.refs.Len() }
+
+// Stats reports cache lookup hits, misses (reference simulations run) and
+// LRU evictions.
+func (c *Cache) Stats() (hits, misses, evictions uint64) { return c.refs.Stats() }
+
+// Engine is the long-lived entry point: it fixes the simulation parameters
+// (instruction budget, warm-up, parallelism) and owns a reference Cache.
+// An Engine is safe for concurrent use; all methods honor their context.
+type Engine struct {
+	runner   *sim.Runner
+	cache    *Cache
+	progress func(completed, total int)
+}
+
+// engineOptions collects functional-option state before the Engine is built.
+type engineOptions struct {
+	params    sim.Params
+	cacheSize int
+	cache     *Cache
+	progress  func(completed, total int)
+}
+
+// Option configures an Engine under construction.
+type Option func(*engineOptions)
+
+// WithInstructions sets the per-thread instruction budget (the run stops
+// when the first thread commits this many — the paper's stopping rule).
+// Zero keeps the default laptop-scale budget of 300K.
+func WithInstructions(n uint64) Option {
+	return func(o *engineOptions) {
+		if n > 0 {
+			o.params.Instructions = n
+		}
+	}
+}
+
+// WithWarmup sets the instructions executed before statistics reset; zero
+// (the default) means a quarter of the instruction budget.
+func WithWarmup(n uint64) Option {
+	return func(o *engineOptions) { o.params.Warmup = n }
+}
+
+// WithParallelism bounds concurrent simulations per RunBatch call; zero
+// (the default) means GOMAXPROCS. The bound is per batch, not engine-wide:
+// concurrent RunBatch calls on one engine each get their own worker pool.
+func WithParallelism(n int) Option {
+	return func(o *engineOptions) { o.params.Parallelism = n }
+}
+
+// WithCacheSize bounds the engine's private reference cache to the given
+// number of profiles. It is ignored when WithCache supplies a shared cache.
+func WithCacheSize(entries int) Option {
+	return func(o *engineOptions) { o.cacheSize = entries }
+}
+
+// WithCache makes the engine draw single-threaded references from (and
+// publish them to) a shared Cache instead of a private one.
+func WithCache(c *Cache) Option {
+	return func(o *engineOptions) { o.cache = c }
+}
+
+// WithProgress installs a callback invoked after each completed batch
+// request with (completed, total). Within one RunBatch the calls are
+// sequential (from that batch's collector goroutine), but concurrent
+// RunBatch calls on the same engine invoke the callback concurrently —
+// synchronize in the callback if it touches shared state. Keep it fast.
+func WithProgress(fn func(completed, total int)) Option {
+	return func(o *engineOptions) { o.progress = fn }
+}
+
+// NewEngine builds an Engine from the options; the zero-option engine uses
+// the laptop-scale defaults (300K instructions, budget/4 warm-up, GOMAXPROCS
+// parallelism, a private default-sized cache).
+func NewEngine(opts ...Option) *Engine {
+	o := engineOptions{params: sim.DefaultParams()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cache := o.cache
+	if cache == nil {
+		cache = NewCache(o.cacheSize)
+	}
+	return &Engine{
+		runner:   sim.NewRunnerWithCache(o.params, cache.refs),
+		cache:    cache,
+		progress: o.progress,
+	}
+}
+
+// Instructions returns the engine's per-thread instruction budget.
+func (e *Engine) Instructions() uint64 { return e.runner.Params.Instructions }
+
+// Warmup returns the engine's resolved warm-up budget.
+func (e *Engine) Warmup() uint64 { return e.runner.Params.EffectiveWarmup() }
+
+// Parallelism returns the configured batch parallelism bound (0 means
+// GOMAXPROCS).
+func (e *Engine) Parallelism() int { return e.runner.Params.Parallelism }
+
+// Cache returns the engine's reference cache (shared or private).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// RunOptions controls simulation length for the deprecated free functions.
+// The zero value selects laptop-scale defaults (300K instructions per
+// thread, one quarter of that as warm-up).
+//
+// Deprecated: configure an Engine with WithInstructions / WithWarmup
+// instead.
 type RunOptions struct {
 	// Instructions is the per-thread budget; the run stops when the first
 	// thread commits this many (the paper's stopping rule).
@@ -97,13 +278,9 @@ type RunOptions struct {
 	Warmup uint64
 }
 
-func (o RunOptions) params() sim.Params {
-	p := sim.DefaultParams()
-	if o.Instructions > 0 {
-		p.Instructions = o.Instructions
-	}
-	p.Warmup = o.Warmup
-	return p
+// options converts legacy RunOptions into engine options.
+func (o RunOptions) options() []Option {
+	return []Option{WithInstructions(o.Instructions), WithWarmup(o.Warmup)}
 }
 
 // SingleResult reports a single-threaded run.
@@ -114,23 +291,6 @@ type SingleResult struct {
 	LLLPer1K             float64 // long-latency loads per 1K instructions
 	MLP                  float64 // Chou et al. MLP
 	BranchMispredictRate float64
-}
-
-// RunSingle simulates one benchmark alone on cfg.
-func RunSingle(cfg Config, benchmark string, opts RunOptions) (SingleResult, error) {
-	if _, err := bench.Get(benchmark); err != nil {
-		return SingleResult{}, err
-	}
-	r := sim.NewRunner(opts.params())
-	res := r.RunSingle(cfg, benchmark)
-	return SingleResult{
-		IPC:                  res.IPC[0],
-		Cycles:               res.Cycles,
-		Instructions:         res.Committed[0],
-		LLLPer1K:             res.LLLPer1K[0],
-		MLP:                  res.MLP[0],
-		BranchMispredictRate: res.BranchMispredictRate[0],
-	}, nil
 }
 
 // ThreadResult reports one thread of a multiprogrammed run.
@@ -155,17 +315,42 @@ type WorkloadResult struct {
 	ANTT    float64 // average normalized turnaround time; lower is better
 }
 
+// RunSingle simulates one benchmark alone on cfg.
+func (e *Engine) RunSingle(ctx context.Context, cfg Config, benchmark string) (SingleResult, error) {
+	if err := checkBenchmarks([]string{benchmark}); err != nil {
+		return SingleResult{}, err
+	}
+	res, err := e.runner.RunSingleCtx(ctx, cfg, benchmark)
+	if err != nil {
+		return SingleResult{}, wrapErr(err)
+	}
+	return SingleResult{
+		IPC:                  res.IPC[0],
+		Cycles:               res.Cycles,
+		Instructions:         res.Committed[0],
+		LLLPer1K:             res.LLLPer1K[0],
+		MLP:                  res.MLP[0],
+		BranchMispredictRate: res.BranchMispredictRate[0],
+	}, nil
+}
+
 // RunWorkload simulates a multiprogrammed workload under the given fetch
 // policy, computing STP and ANTT against single-threaded references at
-// matched instruction counts (the paper's methodology).
-func RunWorkload(cfg Config, w Workload, p Policy, opts RunOptions) (WorkloadResult, error) {
-	for _, n := range w.Benchmarks {
-		if _, err := bench.Get(n); err != nil {
-			return WorkloadResult{}, err
-		}
+// matched instruction counts (the paper's methodology). References come
+// from the engine's Cache.
+func (e *Engine) RunWorkload(ctx context.Context, cfg Config, w Workload, p Policy) (WorkloadResult, error) {
+	if err := checkBenchmarks(w.Benchmarks); err != nil {
+		return WorkloadResult{}, err
 	}
-	r := sim.NewRunner(opts.params())
-	res := r.RunWorkload(cfg, w, p, nil)
+	res, err := e.runner.RunWorkloadCtx(ctx, cfg, w, p, nil)
+	if err != nil {
+		return WorkloadResult{}, wrapErr(err)
+	}
+	return workloadResult(w, res), nil
+}
+
+// workloadResult converts an internal workload result to the public shape.
+func workloadResult(w Workload, res sim.WorkloadResult) WorkloadResult {
 	out := WorkloadResult{
 		Policy: res.Policy,
 		Cycles: res.Result.Cycles,
@@ -184,5 +369,123 @@ func RunWorkload(cfg Config, w Workload, p Policy, opts RunOptions) (WorkloadRes
 			CPIMT:     res.PerThread[i].CPIMT,
 		})
 	}
-	return out, nil
+	return out
+}
+
+// Request is one simulation in a batch: a configuration point, a workload
+// and a fetch policy. Tag is caller-chosen and echoed on the result (
+// CrossProduct fills it with "workload/policy").
+type Request struct {
+	Tag      string
+	Config   Config
+	Workload Workload
+	Policy   Policy
+}
+
+// BatchResult pairs a finished Request with its outcome. Index is the
+// request's position in the submitted slice — results stream in completion
+// order, so use Index (or Tag) to restore the deterministic submission
+// order. Exactly one of Result/Err is meaningful.
+type BatchResult struct {
+	Index   int
+	Request Request
+	Result  WorkloadResult
+	Err     error
+}
+
+// CrossProduct builds the policy x workload cross-product on one
+// configuration, in workload-major order (all policies of workload 0, then
+// workload 1, ...), tagged "workload/policy".
+func CrossProduct(cfg Config, workloads []Workload, policies []Policy) []Request {
+	reqs := make([]Request, 0, len(workloads)*len(policies))
+	for _, w := range workloads {
+		for _, p := range policies {
+			reqs = append(reqs, Request{
+				Tag:      fmt.Sprintf("%s/%s", w.Name(), p),
+				Config:   cfg,
+				Workload: w,
+				Policy:   p,
+			})
+		}
+	}
+	return reqs
+}
+
+// RunBatch fans the requests over a worker pool bounded by the engine's
+// parallelism and streams results back as they complete. The returned
+// channel is buffered for the whole batch and always closes after exactly
+// len(reqs) results, so a canceled or abandoned batch still drains cleanly.
+// Once ctx is done, requests not yet started complete immediately with an
+// ErrCanceled-wrapped error; requests with unknown benchmarks fail with
+// ErrUnknownBenchmark without occupying the pool. Single-threaded
+// references are shared through the engine's Cache, so a policy x workload
+// cross-product computes each reference once.
+func (e *Engine) RunBatch(ctx context.Context, reqs []Request) <-chan BatchResult {
+	out := make(chan BatchResult, len(reqs))
+
+	// Validate up front: invalid requests fail immediately and never reach
+	// the worker pool.
+	simReqs := make([]sim.BatchRequest, 0, len(reqs))
+	simIdx := make([]int, 0, len(reqs))
+	invalid := 0
+	for i, req := range reqs {
+		if err := checkBenchmarks(req.Workload.Benchmarks); err != nil {
+			out <- BatchResult{Index: i, Request: req, Err: err}
+			invalid++
+			continue
+		}
+		simReqs = append(simReqs, sim.BatchRequest{
+			Tag:      req.Tag,
+			Config:   req.Config,
+			Workload: req.Workload,
+			Kind:     req.Policy,
+		})
+		simIdx = append(simIdx, i)
+	}
+
+	ch := e.runner.RunBatch(ctx, simReqs)
+	go func() {
+		total := len(reqs)
+		done := 0
+		for ; done < invalid; done++ {
+			if e.progress != nil {
+				e.progress(done+1, total)
+			}
+		}
+		for br := range ch {
+			i := simIdx[br.Index]
+			req := reqs[i]
+			pub := BatchResult{Index: i, Request: req, Err: wrapErr(br.Err)}
+			if br.Err == nil {
+				pub.Result = workloadResult(req.Workload, br.Res)
+			}
+			out <- pub
+			done++
+			if e.progress != nil {
+				e.progress(done, total)
+			}
+		}
+		close(out)
+	}()
+	return out
+}
+
+// RunSingle simulates one benchmark alone on cfg.
+//
+// Deprecated: RunSingle is the pre-Engine entry point, kept as a thin shim
+// over a throwaway Engine. Use NewEngine(...).RunSingle(ctx, ...), which
+// adds cancellation and reference-cache reuse across calls.
+func RunSingle(cfg Config, benchmark string, opts RunOptions) (SingleResult, error) {
+	return NewEngine(opts.options()...).RunSingle(context.Background(), cfg, benchmark)
+}
+
+// RunWorkload simulates a multiprogrammed workload under the given fetch
+// policy.
+//
+// Deprecated: RunWorkload is the pre-Engine entry point, kept as a thin
+// shim over a throwaway Engine. Use NewEngine(...).RunWorkload(ctx, ...),
+// which adds cancellation and reference-cache reuse across calls, or
+// Engine.RunBatch for sweeps.
+func RunWorkload(cfg Config, w Workload, p Policy, opts RunOptions) (WorkloadResult, error) {
+	return NewEngine(opts.options()...).RunWorkload(context.Background(), cfg, w, p)
 }
