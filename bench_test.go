@@ -20,8 +20,14 @@ import (
 	"smtmlp/internal/sim"
 )
 
-// benchRunner returns a runner sized for the bench harness.
-func benchRunner() *sim.Runner {
+// benchRunner returns a runner sized for the bench harness. Every benchmark
+// calls it first, so the whole harness consistently respects -short (each
+// regenerated experiment is far more than a short run should pay for).
+func benchRunner(b *testing.B) *sim.Runner {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("bench harness regenerates paper experiments; skipped in -short")
+	}
 	return sim.NewRunner(sim.Params{Instructions: 30_000, Warmup: 10_000})
 }
 
@@ -29,7 +35,7 @@ func benchRunner() *sim.Runner {
 // (LLL/1K, MLP, MLP impact, classification for all 26 benchmarks).
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.TableI(context.Background(), benchRunner())
+		res := experiments.TableI(context.Background(), benchRunner(b))
 		match, total := res.ClassAgreement()
 		b.ReportMetric(float64(match)/float64(total), "class-agreement")
 	}
@@ -39,7 +45,7 @@ func BenchmarkTableI(b *testing.B) {
 // MLP-intensive benchmarks.
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.Figure4(context.Background(), benchRunner())
+		res := experiments.Figure4(context.Background(), benchRunner(b))
 		// Report the fraction of lucas's MLP found below distance 40 (the
 		// paper: "nearly 100%").
 		for j, name := range res.Benchmarks {
@@ -53,7 +59,7 @@ func BenchmarkFigure4(b *testing.B) {
 // BenchmarkFigure5 regenerates the prefetching on/off IPC comparison.
 func BenchmarkFigure5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.Figure5(context.Background(), benchRunner())
+		res := experiments.Figure5(context.Background(), benchRunner(b))
 		b.ReportMetric(res.HarmonicSpeedup, "prefetch-speedup")
 	}
 }
@@ -61,7 +67,7 @@ func BenchmarkFigure5(b *testing.B) {
 // BenchmarkFigure6and7and8 regenerates the predictor accuracy study.
 func BenchmarkFigure6and7and8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.Predictors(context.Background(), benchRunner())
+		res := experiments.Predictors(context.Background(), benchRunner(b))
 		var acc, bin, far float64
 		var n float64
 		for _, r := range res.Rows {
@@ -95,7 +101,7 @@ func reportGroup(b *testing.B, pc experiments.PolicyComparison, class bench.Work
 // BenchmarkFigure9and10 regenerates the two-thread policy comparison.
 func BenchmarkFigure9and10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pc := experiments.Figure9and10(context.Background(), benchRunner())
+		pc := experiments.Figure9and10(context.Background(), benchRunner(b))
 		reportGroup(b, pc, bench.MLPWorkload, "mlp")
 		reportGroup(b, pc, bench.MixedWorkload, "mixed")
 	}
@@ -105,7 +111,7 @@ func BenchmarkFigure9and10(b *testing.B) {
 // simulations as Figures 9/10, rendered per thread).
 func BenchmarkFigure11and12(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pc := experiments.Figure9and10(context.Background(), benchRunner())
+		pc := experiments.Figure9and10(context.Background(), benchRunner(b))
 		_ = pc.IPCStacks(bench.MLPWorkload)
 		_ = pc.IPCStacks(bench.MixedWorkload)
 	}
@@ -114,7 +120,7 @@ func BenchmarkFigure11and12(b *testing.B) {
 // BenchmarkFigure13and14 regenerates the four-thread policy comparison.
 func BenchmarkFigure13and14(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pc := experiments.Figure13and14(context.Background(), benchRunner())
+		pc := experiments.Figure13and14(context.Background(), benchRunner(b))
 		reportGroup(b, pc, bench.MixedWorkload, "4t-mixed")
 	}
 }
@@ -122,7 +128,7 @@ func BenchmarkFigure13and14(b *testing.B) {
 // BenchmarkFigure15and16 regenerates the memory latency sweep.
 func BenchmarkFigure15and16(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.Figure15and16(context.Background(), benchRunner())
+		res := experiments.Figure15and16(context.Background(), benchRunner(b))
 		// The paper's trend: the MLP-aware flush advantage over ICOUNT
 		// grows with memory latency. Report both endpoints.
 		for _, label := range []string{"mem=200", "mem=800"} {
@@ -145,7 +151,7 @@ func BenchmarkFigure15and16(b *testing.B) {
 // BenchmarkFigure17and18 regenerates the window size sweep.
 func BenchmarkFigure17and18(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.Figure17and18(context.Background(), benchRunner())
+		res := experiments.Figure17and18(context.Background(), benchRunner(b))
 		for _, label := range []string{"rob=128", "rob=1024"} {
 			var icount, mlpflush float64
 			for _, p := range res.Points[label] {
@@ -166,7 +172,7 @@ func BenchmarkFigure17and18(b *testing.B) {
 // BenchmarkFigure20and21 regenerates the alternative-policy study (a-e).
 func BenchmarkFigure20and21(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pc := experiments.Figure20and21(context.Background(), benchRunner())
+		pc := experiments.Figure20and21(context.Background(), benchRunner(b))
 		if f, ok := pc.GroupPolicy(bench.MLPWorkload, "mlpflush"); ok {
 			if d, ok2 := pc.GroupPolicy(bench.MLPWorkload, "mlpflush-rs"); ok2 {
 				b.ReportMetric(metrics.RelativeChange(f.STP, d.STP), "d-vs-b-stp")
@@ -179,7 +185,7 @@ func BenchmarkFigure20and21(b *testing.B) {
 // (MLP-aware flush vs static partitioning vs DCRA).
 func BenchmarkFigure22and23(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.Figure22and23(context.Background(), benchRunner())
+		res := experiments.Figure22and23(context.Background(), benchRunner(b))
 		var mlpflush, dcra float64
 		for _, row := range res.TwoThread {
 			if row.Class == bench.MLPWorkload {
@@ -200,6 +206,9 @@ func BenchmarkFigure22and23(b *testing.B) {
 // BenchmarkCorePipeline measures raw simulator speed (cycles simulated per
 // second are implied by ns/op for a fixed-size run).
 func BenchmarkCorePipeline(b *testing.B) {
+	if testing.Short() {
+		b.Skip("pipeline benchmark runs a full-size simulation; skipped in -short")
+	}
 	r := sim.NewRunner(sim.Params{Instructions: 50_000, Warmup: 0, Parallelism: 1})
 	cfg := DefaultConfig(2)
 	w := bench.Workload{Benchmarks: []string{"mcf", "galgel"}}

@@ -1,0 +1,106 @@
+// Command smtserved serves the SMT simulator over HTTP: one long-lived
+// Engine with a shared reference cache behind the REST/NDJSON surface of
+// internal/server.
+//
+// Usage:
+//
+//	smtserved [-addr :8344] [-instructions N] [-warmup N] [-parallelism N]
+//	          [-cache-size N] [-max-batch N] [-max-threads N]
+//
+// Quickstart:
+//
+//	smtserved -addr :8344 &
+//	curl -s localhost:8344/v1/run -d '{"benchmarks":["mcf","galgel"],"policy":"mlpflush"}'
+//	curl -sN localhost:8344/v1/batch \
+//	  -d '{"workloads":[["mcf","galgel"],["swim","twolf"]],"policies":["icount","mlpflush"]}'
+//
+// The process drains gracefully on SIGINT/SIGTERM: listening stops, every
+// in-flight request's context is canceled (which cancels its simulations and
+// drains the batch worker pool), and the server exits once handlers return.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"smtmlp"
+	"smtmlp/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout))
+}
+
+func run(ctx context.Context, args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("smtserved", flag.ContinueOnError)
+	addr := fs.String("addr", ":8344", "listen address")
+	instructions := fs.Uint64("instructions", 300_000, "per-thread instruction budget per simulation")
+	warmup := fs.Uint64("warmup", 0, "warm-up instructions (0 = budget/4)")
+	parallelism := fs.Int("parallelism", 0, "concurrent simulations per batch (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache-size", 0, "reference cache bound in profiles (0 = default)")
+	maxBatch := fs.Int("max-batch", server.DefaultMaxBatch, "max simulations per /v1/batch call")
+	maxThreads := fs.Int("max-threads", server.DefaultMaxThreads, "max benchmarks per workload")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	eng := smtmlp.NewEngine(
+		smtmlp.WithInstructions(*instructions),
+		smtmlp.WithWarmup(*warmup),
+		smtmlp.WithParallelism(*parallelism),
+		smtmlp.WithCacheSize(*cacheSize),
+	)
+	handler := server.New(eng, server.WithMaxBatch(*maxBatch), server.WithMaxThreads(*maxThreads))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		// Tie every request context to the signal context: on SIGINT/SIGTERM
+		// in-flight simulations cancel and batch pools drain instead of
+		// holding shutdown hostage.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+
+	fmt.Fprintf(out, "smtserved listening on %s (instructions=%d, parallelism=%d)\n",
+		ln.Addr(), eng.Instructions(), eng.Parallelism())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "forced shutdown:", err)
+		srv.Close()
+		return 1
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintln(out, "smtserved drained and stopped")
+	return 0
+}

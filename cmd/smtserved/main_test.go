@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing run's output
+// while the server goroutine writes to it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// startServed runs the binary's run() on an ephemeral port and returns the
+// base URL and a cancel-and-wait shutdown function.
+func startServed(t *testing.T, args ...string) (string, func() int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out)
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1], func() int {
+				cancel()
+				select {
+				case code := <-done:
+					return code
+				case <-time.After(20 * time.Second):
+					t.Fatal("server did not shut down")
+					return -1
+				}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	t.Fatalf("server never reported its address; output: %q", out.String())
+	return "", nil
+}
+
+// TestServedEndToEnd boots the real binary path (flags, listener, engine,
+// handler), exercises a run and a streamed batch over TCP, and verifies
+// SIGINT-style cancellation drains into a clean exit.
+func TestServedEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end server test runs real simulations")
+	}
+	url, shutdown := startServed(t, "-instructions", "6000", "-warmup", "1500")
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(url+"/v1/run", "application/json",
+		strings.NewReader(`{"benchmarks":["mcf","galgel"],"policy":"mlpflush"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"stp"`)) {
+		t.Fatalf("run status %d body %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post(url+"/v1/batch", "application/json",
+		strings.NewReader(`{"workloads":[["mcf","galgel"]],"policies":["icount","mlpflush"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if n := bytes.Count(bytes.TrimSpace(body), []byte("\n")) + 1; resp.StatusCode != http.StatusOK || n != 2 {
+		t.Fatalf("batch status %d, %d lines: %s", resp.StatusCode, n, body)
+	}
+
+	http.DefaultClient.CloseIdleConnections()
+	if code := shutdown(); code != 0 {
+		t.Fatalf("shutdown exit code %d", code)
+	}
+}
+
+// TestServedShutdownCancelsInFlightBatch proves the graceful-drain path: a
+// batch is mid-stream when the signal context fires; the server cancels the
+// request contexts, drains and exits 0 without waiting for the whole batch.
+func TestServedShutdownCancelsInFlightBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end server test runs real simulations")
+	}
+	url, shutdown := startServed(t, "-instructions", "6000", "-warmup", "1500", "-parallelism", "1")
+
+	// 30 sequential simulations: far more than can finish before shutdown.
+	var workloads []string
+	for i := 0; i < 15; i++ {
+		workloads = append(workloads, `["mcf","galgel"]`)
+	}
+	resp, err := http.Post(url+"/v1/batch", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"workloads":[%s],"policies":["icount","flush"]}`,
+			strings.Join(workloads, ","))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one byte so the stream is known to be live, then shut down with
+	// the batch still running.
+	if _, err := io.ReadAtLeast(resp.Body, make([]byte, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	code := shutdown()
+	resp.Body.Close()
+	http.DefaultClient.CloseIdleConnections()
+	if code != 0 {
+		t.Fatalf("shutdown exit code %d", code)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("shutdown took %v — in-flight batch was not canceled", elapsed)
+	}
+}

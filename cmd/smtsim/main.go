@@ -54,8 +54,8 @@ func run(ctx context.Context, args []string, out io.Writer) int {
 		}
 	}
 
-	kind, ok := policyByName(*policyName)
-	if !ok {
+	kind, err := policy.Parse(*policyName)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policyName)
 		return 2
 	}
@@ -92,16 +92,4 @@ func run(ctx context.Context, args []string, out io.Writer) int {
 	fmt.Fprintf(out, "STP:  %.3f (higher is better)\n", res.STP)
 	fmt.Fprintf(out, "ANTT: %.3f (lower is better)\n", res.ANTT)
 	return 0
-}
-
-func policyByName(name string) (policy.Kind, bool) {
-	for k := policy.ICount; ; k++ {
-		s := k.String()
-		if strings.HasPrefix(s, "policy(") {
-			return 0, false
-		}
-		if s == name {
-			return k, true
-		}
-	}
 }

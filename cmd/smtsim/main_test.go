@@ -53,16 +53,3 @@ func TestRunRejectsUnknownLimiter(t *testing.T) {
 		t.Fatal("unknown limiter accepted")
 	}
 }
-
-func TestPolicyByName(t *testing.T) {
-	for _, name := range []string{"icount", "stall", "pstall", "mlpstall",
-		"flush", "mlpflush", "binflush", "mlpflush-rs", "binflush-rs"} {
-		k, ok := policyByName(name)
-		if !ok || k.String() != name {
-			t.Fatalf("policyByName(%q) = %v, %t", name, k, ok)
-		}
-	}
-	if _, ok := policyByName("bogus"); ok {
-		t.Fatal("bogus policy resolved")
-	}
-}

@@ -1,0 +1,107 @@
+// HTTP client quickstart for the batch-simulation service: start
+//
+//	go run ./cmd/smtserved -addr :8344 -instructions 60000
+//
+// in one terminal, then
+//
+//	go run ./examples/httpclient -addr localhost:8344
+//
+// in another. The client discovers the catalog, runs one simulation through
+// POST /v1/run, and streams a policy x workload cross-product from
+// POST /v1/batch, printing each NDJSON line as it arrives — results show up
+// one by one while the batch is still running, which is the point of the
+// streaming endpoint.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+
+	"smtmlp"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8344", "smtserved address")
+	flag.Parse()
+	base := "http://" + *addr
+
+	// Discovery: what can this server simulate?
+	var workloads struct {
+		Benchmarks []string `json:"benchmarks"`
+	}
+	getJSON(base+"/v1/workloads", &workloads)
+	var policies struct {
+		Paper []string `json:"paper"`
+	}
+	getJSON(base+"/v1/policies", &policies)
+	fmt.Printf("server knows %d benchmarks and the paper's %d policies: %s\n\n",
+		len(workloads.Benchmarks), len(policies.Paper), strings.Join(policies.Paper, " "))
+
+	// One simulation: the paper's mcf+galgel case study under MLP-aware flush.
+	resp, err := http.Post(base+"/v1/run", "application/json",
+		strings.NewReader(`{"benchmarks":["mcf","galgel"],"policy":"mlpflush"}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		log.Fatalf("run rejected: %s: %s", resp.Status, body)
+	}
+	var run smtmlp.WorkloadResult
+	if err := json.NewDecoder(resp.Body).Decode(&run); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("POST /v1/run  mcf+galgel under %s: STP %.3f  ANTT %.3f\n\n",
+		run.Policy, run.STP, run.ANTT)
+
+	// A streamed batch: 2 workloads x 3 policies, printed as lines arrive.
+	fmt.Println("POST /v1/batch  streaming 6 results:")
+	resp, err = http.Post(base+"/v1/batch", "application/json", strings.NewReader(
+		`{"workloads":[["mcf","galgel"],["swim","twolf"]],"policies":["icount","flush","mlpflush"]}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("batch rejected: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var br smtmlp.BatchResult
+		if err := json.Unmarshal(sc.Bytes(), &br); err != nil {
+			log.Fatal(err)
+		}
+		if br.Err != nil {
+			fmt.Printf("  [%d] %-22s FAILED: %v\n", br.Index, br.Request.Tag, br.Err)
+			continue
+		}
+		fmt.Printf("  [%d] %-22s STP %.3f  ANTT %.3f\n",
+			br.Index, br.Request.Tag, br.Result.STP, br.Result.ANTT)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		log.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

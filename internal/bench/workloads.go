@@ -25,13 +25,14 @@ func (c WorkloadClass) String() string {
 	}
 }
 
-// Workload is a multiprogrammed mix of benchmarks.
+// Workload is a multiprogrammed mix of benchmarks. JSON tags pin the wire
+// names used by the HTTP service surface.
 type Workload struct {
-	Benchmarks []string
-	Class      WorkloadClass
+	Benchmarks []string      `json:"benchmarks"`
+	Class      WorkloadClass `json:"class,omitempty"`
 	// MLPCount is the number of MLP-intensive benchmarks in the mix (the
 	// four-thread workloads of Table III are sorted by it).
-	MLPCount int
+	MLPCount int `json:"mlp_count,omitempty"`
 }
 
 // Name renders the paper's hyphenated workload name (e.g. "mcf-galgel").

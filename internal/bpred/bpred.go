@@ -12,10 +12,10 @@ package bpred
 // Config sizes the predictor. The zero value is not useful; use
 // DefaultConfig for the paper's baseline.
 type Config struct {
-	GshareEntries int // number of 2-bit counters (power of two)
-	HistoryBits   int // global history length
-	BTBEntries    int // total BTB entries (power of two)
-	BTBWays       int // BTB associativity
+	GshareEntries int `json:"gshare_entries"` // number of 2-bit counters (power of two)
+	HistoryBits   int `json:"history_bits"`   // global history length
+	BTBEntries    int `json:"btb_entries"`    // total BTB entries (power of two)
+	BTBWays       int `json:"btb_ways"`       // BTB associativity
 }
 
 // DefaultConfig returns the Table IV branch predictor: 2K-entry gshare and a

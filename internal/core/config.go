@@ -23,49 +23,52 @@ import (
 	"smtmlp/internal/mem"
 )
 
-// Config is the processor configuration (Table IV is the default).
+// Config is the processor configuration (Table IV is the default). The JSON
+// tags are the configuration's wire format: the public API serves and accepts
+// configurations over HTTP, so tag names are stable even if fields are ever
+// renamed.
 type Config struct {
-	Threads int
+	Threads int `json:"threads"`
 
-	FetchWidth   int // instructions fetched per cycle (4)
-	FetchThreads int // threads fetched from per cycle (2 -> ICOUNT 2.4)
-	IssueWidth   int // instructions issued per cycle
-	CommitWidth  int // instructions committed per cycle
+	FetchWidth   int `json:"fetch_width"`   // instructions fetched per cycle (4)
+	FetchThreads int `json:"fetch_threads"` // threads fetched from per cycle (2 -> ICOUNT 2.4)
+	IssueWidth   int `json:"issue_width"`   // instructions issued per cycle
+	CommitWidth  int `json:"commit_width"`  // instructions committed per cycle
 
-	ROBSize   int // shared reorder buffer entries
-	LSQSize   int // shared load/store queue entries
-	IQInt     int // integer issue queue entries
-	IQFP      int // floating-point issue queue entries
-	RenameInt int // integer rename registers
-	RenameFP  int // floating-point rename registers
+	ROBSize   int `json:"rob_size"`   // shared reorder buffer entries
+	LSQSize   int `json:"lsq_size"`   // shared load/store queue entries
+	IQInt     int `json:"iq_int"`     // integer issue queue entries
+	IQFP      int `json:"iq_fp"`      // floating-point issue queue entries
+	RenameInt int `json:"rename_int"` // integer rename registers
+	RenameFP  int `json:"rename_fp"`  // floating-point rename registers
 
-	IntALUs   int // integer ALUs (also execute branches and multiplies)
-	LdStUnits int // load/store units
-	FPUnits   int // floating-point units
+	IntALUs   int `json:"int_alus"`   // integer ALUs (also execute branches and multiplies)
+	LdStUnits int `json:"ldst_units"` // load/store units
+	FPUnits   int `json:"fp_units"`   // floating-point units
 
-	WriteBuffer int // write buffer entries (stores wait here after commit)
+	WriteBuffer int `json:"write_buffer"` // write buffer entries (stores wait here after commit)
 
-	FrontEndDelay     int // cycles from fetch to earliest dispatch
-	MispredictPenalty int // total branch misprediction penalty in cycles
+	FrontEndDelay     int `json:"front_end_delay"`    // cycles from fetch to earliest dispatch
+	MispredictPenalty int `json:"mispredict_penalty"` // total branch misprediction penalty in cycles
 
 	// LLSRSize is the per-thread long-latency shift register length;
 	// 0 means ROBSize / Threads (the paper's default).
-	LLSRSize int
+	LLSRSize int `json:"llsr_size,omitempty"`
 
 	// PredictorEntries sizes the PC-indexed MLP tables (2K in the paper).
-	PredictorEntries int
+	PredictorEntries int `json:"predictor_entries"`
 
 	// DetectDelay is the delay from load issue until a long-latency miss is
 	// detected and reported to the fetch policy; 0 means the L3 hit latency
 	// (the earliest moment the hardware knows the access missed the L3).
-	DetectDelay int64
+	DetectDelay int64 `json:"detect_delay,omitempty"`
 
-	Mem   mem.Config
-	Bpred bpred.Config
+	Mem   mem.Config   `json:"mem"`
+	Bpred bpred.Config `json:"bpred"`
 
 	// MaxCycles aborts a run that exceeds this cycle count (a deadlock
 	// guard for tests); 0 means no limit.
-	MaxCycles int64
+	MaxCycles int64 `json:"max_cycles,omitempty"`
 }
 
 // DefaultConfig returns the baseline SMT processor of Table IV for the given

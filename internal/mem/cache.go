@@ -16,10 +16,10 @@ package mem
 
 // CacheConfig sizes one level of the hierarchy.
 type CacheConfig struct {
-	SizeBytes int   // total capacity
-	Ways      int   // associativity
-	LineBytes int   // line size
-	Latency   int64 // load-to-use latency on a hit at this level
+	SizeBytes int   `json:"size_bytes"` // total capacity
+	Ways      int   `json:"ways"`       // associativity
+	LineBytes int   `json:"line_bytes"` // line size
+	Latency   int64 `json:"latency"`    // load-to-use latency on a hit at this level
 }
 
 // Cache is a set-associative cache with true-LRU replacement. It tracks tags

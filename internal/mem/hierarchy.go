@@ -6,28 +6,31 @@ import (
 	"smtmlp/internal/prefetch"
 )
 
-// Config describes the whole data-side memory hierarchy.
+// Config describes the whole data-side memory hierarchy. JSON tags pin the
+// wire names used by the HTTP configuration surface.
 type Config struct {
-	LineBytes  int
-	L1, L2, L3 CacheConfig
-	MemLatency int64 // main memory access latency (the paper sweeps 200..800)
+	LineBytes  int         `json:"line_bytes"`
+	L1         CacheConfig `json:"l1"`
+	L2         CacheConfig `json:"l2"`
+	L3         CacheConfig `json:"l3"`
+	MemLatency int64       `json:"mem_latency"` // main memory access latency (the paper sweeps 200..800)
 
-	TLBEntries int
-	PageBytes  int
+	TLBEntries int `json:"tlb_entries"`
+	PageBytes  int `json:"page_bytes"`
 
-	EnablePrefetch bool
-	Prefetch       prefetch.Config
+	EnablePrefetch bool            `json:"enable_prefetch"`
+	Prefetch       prefetch.Config `json:"prefetch"`
 	// StreamBufferHitLatency is the load-to-use latency when a demand load
 	// finds its line already arrived in a stream buffer.
-	StreamBufferHitLatency int64
+	StreamBufferHitLatency int64 `json:"stream_buffer_hit_latency"`
 
 	// SerializeLLL, when true, forces long-latency loads of the same thread
 	// to be serviced one at a time (used for the Table I MLP-impact study).
-	SerializeLLL bool
+	SerializeLLL bool `json:"serialize_lll,omitempty"`
 
 	// Threads is the number of hardware contexts sharing the hierarchy
 	// (used to size per-thread accounting).
-	Threads int
+	Threads int `json:"threads"`
 }
 
 // DefaultConfig returns the Table IV memory hierarchy with prefetching

@@ -28,6 +28,7 @@
 package policy
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"smtmlp/internal/core"
@@ -87,6 +88,49 @@ func (k Kind) String() string {
 	default:
 		return fmt.Sprintf("policy(%d)", int(k))
 	}
+}
+
+// Kinds enumerates every implemented policy kind in definition order.
+func Kinds() []Kind {
+	out := make([]Kind, 0, int(numKinds))
+	for k := ICount; k < numKinds; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Parse resolves a policy's short name (the String form used throughout the
+// experiments, e.g. "mlpflush") back to its Kind.
+func Parse(name string) (Kind, error) {
+	for k := ICount; k < numKinds; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("policy: unknown policy %q", name)
+}
+
+// MarshalJSON encodes the kind as its short name, keeping the wire format
+// stable even if the enum is ever reordered.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	if k < ICount || k >= numKinds {
+		return nil, fmt.Errorf("policy: cannot marshal unknown kind %d", int(k))
+	}
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a short policy name.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return fmt.Errorf("policy: kind must be a JSON string, got %s", data)
+	}
+	parsed, err := Parse(name)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
 }
 
 // New returns a fresh policy instance of the given kind. Instances carry

@@ -36,6 +36,46 @@ func TestKindStrings(t *testing.T) {
 	}
 }
 
+func TestParseRoundTrip(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) != 9 {
+		t.Fatalf("Kinds() has %d entries, want 9", len(kinds))
+	}
+	for _, k := range kinds {
+		got, err := Parse(k.String())
+		if err != nil || got != k {
+			t.Errorf("Parse(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Fatal("Parse accepted a bogus policy name")
+	}
+}
+
+func TestKindJSON(t *testing.T) {
+	b, err := MLPFlush.MarshalJSON()
+	if err != nil || string(b) != `"mlpflush"` {
+		t.Fatalf("MarshalJSON = %s, %v", b, err)
+	}
+	var k Kind
+	if err := k.UnmarshalJSON([]byte(`"binflush-rs"`)); err != nil || k != BinaryFlushAtStall {
+		t.Fatalf("UnmarshalJSON = %v, %v", k, err)
+	}
+	// JSON escape sequences are valid string encodings and must decode.
+	if err := k.UnmarshalJSON([]byte(`"\u0069count"`)); err != nil || k != ICount {
+		t.Fatalf("UnmarshalJSON of escaped name = %v, %v", k, err)
+	}
+	if err := k.UnmarshalJSON([]byte(`"nope"`)); err == nil {
+		t.Fatal("UnmarshalJSON accepted an unknown name")
+	}
+	if err := k.UnmarshalJSON([]byte(`3`)); err == nil {
+		t.Fatal("UnmarshalJSON accepted a non-string")
+	}
+	if _, err := Kind(99).MarshalJSON(); err == nil {
+		t.Fatal("MarshalJSON accepted an unknown kind")
+	}
+}
+
 func TestPaperAndAlternativesLists(t *testing.T) {
 	if len(Paper()) != 6 {
 		t.Fatalf("Paper() has %d policies, the main evaluation compares 6", len(Paper()))

@@ -12,10 +12,10 @@ package prefetch
 
 // Config sizes the prefetcher. DefaultConfig matches the paper's baseline.
 type Config struct {
-	Buffers       int // number of stream buffers
-	Entries       int // entries (prefetched lines) per buffer
-	StrideEntries int // stride predictor table entries (power of two)
-	MinConfidence int // 2-bit confidence threshold for allocating a buffer
+	Buffers       int `json:"buffers"`        // number of stream buffers
+	Entries       int `json:"entries"`        // entries (prefetched lines) per buffer
+	StrideEntries int `json:"stride_entries"` // stride predictor table entries (power of two)
+	MinConfidence int `json:"min_confidence"` // 2-bit confidence threshold for allocating a buffer
 }
 
 // DefaultConfig returns the Table IV prefetcher: 8 stream buffers, 8 entries

@@ -1,0 +1,487 @@
+// Package server exposes the smtmlp Engine over HTTP: the batch-simulation
+// service cmd/smtserved serves. One long-lived Engine (with its shared
+// reference cache) backs every request; handlers propagate the request
+// context into the engine, so a client disconnect cancels the simulations it
+// requested and the batch worker pool drains cleanly.
+//
+// Endpoints:
+//
+//	GET  /healthz      — liveness probe
+//	GET  /metrics      — engine gauges (in-flight sims, queue depth, cache
+//	                     hit/miss/eviction counters) and server counters
+//	GET  /v1/policies  — the implemented fetch policies
+//	GET  /v1/workloads — the benchmark catalog and Table II/III workloads
+//	POST /v1/run       — one simulation, JSON in / JSON out
+//	POST /v1/batch     — a policy x workload cross-product, streamed back as
+//	                     NDJSON (one smtmlp.BatchResult per line) in
+//	                     submission order as results complete
+//
+// Errors are JSON bodies {"error":{"code":...,"message":...}} with stable
+// codes (unknown_benchmark, unknown_policy, invalid_request,
+// batch_too_large, too_many_threads).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"smtmlp"
+)
+
+// Defaults for the request-validation bounds.
+const (
+	DefaultMaxBatch   = 4096 // requests per /v1/batch call
+	DefaultMaxThreads = 8    // benchmarks per workload
+
+	// maxBodyBytes caps request bodies before decoding: even a full-size
+	// batch (4096 workloads of 8 names plus config overrides) is far under
+	// 1MB, so anything bigger is rejected before it can allocate.
+	maxBodyBytes = 1 << 20
+)
+
+// Error codes returned in the typed error body.
+const (
+	CodeInvalidRequest   = "invalid_request"
+	CodeUnknownBenchmark = "unknown_benchmark"
+	CodeUnknownPolicy    = "unknown_policy"
+	CodeBatchTooLarge    = "batch_too_large"
+	CodeTooManyThreads   = "too_many_threads"
+	CodeCanceled         = "canceled"
+	CodeInternal         = "internal"
+)
+
+// Server is the HTTP surface over one long-lived Engine. It implements
+// http.Handler and is safe for concurrent use.
+type Server struct {
+	eng        *smtmlp.Engine
+	maxBatch   int
+	maxThreads int
+	mux        *http.ServeMux
+
+	// Server-level counters for /metrics.
+	requestsTotal  atomic.Int64
+	batchesActive  atomic.Int64
+	batchResults   atomic.Int64
+	clientsDropped atomic.Int64
+}
+
+// Option configures a Server under construction.
+type Option func(*Server)
+
+// WithMaxBatch bounds the number of simulations one /v1/batch call may
+// request (the policy x workload product); n <= 0 keeps the default.
+func WithMaxBatch(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBatch = n
+		}
+	}
+}
+
+// WithMaxThreads bounds the number of benchmarks per workload; n <= 0 keeps
+// the default.
+func WithMaxThreads(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxThreads = n
+		}
+	}
+}
+
+// New builds a Server over eng. The engine is owned by the caller and may be
+// shared (e.g. with a second server or background sweeps); its reference
+// cache warms across all of them.
+func New(eng *smtmlp.Engine, opts ...Option) *Server {
+	s := &Server{
+		eng:        eng,
+		maxBatch:   DefaultMaxBatch,
+		maxThreads: DefaultMaxThreads,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requestsTotal.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError is the typed error body.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorBody struct {
+	Error apiError `json:"error"`
+}
+
+// writeError sends the typed error body with the given status.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: apiError{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// writeJSON sends a 200 JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// decodeBody strictly decodes the request body into v (unknown fields are
+// rejected, so typos fail loudly instead of being silently ignored). The
+// body is size-capped before decoding, so an oversized request is rejected
+// before it can allocate.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeInvalidRequest,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "decoding request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// MetricsResponse is the /metrics body.
+type MetricsResponse struct {
+	Engine smtmlp.EngineMetrics `json:"engine"`
+	Server ServerMetrics        `json:"server"`
+}
+
+// ServerMetrics are the handler-level counters.
+type ServerMetrics struct {
+	RequestsTotal        int64 `json:"requests_total"`
+	BatchesActive        int64 `json:"batches_active"`
+	BatchResultsStreamed int64 `json:"batch_results_streamed"`
+	ClientsDropped       int64 `json:"clients_dropped"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, MetricsResponse{
+		Engine: s.eng.Metrics(),
+		Server: ServerMetrics{
+			RequestsTotal:        s.requestsTotal.Load(),
+			BatchesActive:        s.batchesActive.Load(),
+			BatchResultsStreamed: s.batchResults.Load(),
+			ClientsDropped:       s.clientsDropped.Load(),
+		},
+	})
+}
+
+// PoliciesResponse is the /v1/policies body.
+type PoliciesResponse struct {
+	// Policies lists every implemented policy name.
+	Policies []string `json:"policies"`
+	// Paper lists the six policies of the paper's main evaluation.
+	Paper []string `json:"paper"`
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, _ *http.Request) {
+	resp := PoliciesResponse{}
+	for _, p := range smtmlp.AllPolicies() {
+		resp.Policies = append(resp.Policies, p.String())
+	}
+	for _, p := range smtmlp.Policies() {
+		resp.Paper = append(resp.Paper, p.String())
+	}
+	writeJSON(w, resp)
+}
+
+// WorkloadsResponse is the /v1/workloads body.
+type WorkloadsResponse struct {
+	// Benchmarks lists the Table I catalog.
+	Benchmarks []string `json:"benchmarks"`
+	// TwoThread and FourThread are the Table II / Table III workloads.
+	TwoThread  []smtmlp.Workload `json:"two_thread"`
+	FourThread []smtmlp.Workload `json:"four_thread"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, WorkloadsResponse{
+		Benchmarks: smtmlp.Benchmarks(),
+		TwoThread:  smtmlp.TwoThreadWorkloads(),
+		FourThread: smtmlp.FourThreadWorkloads(),
+	})
+}
+
+// ConfigSpec is the client-facing configuration surface: a small set of
+// overrides applied to the Table IV default for the workload's thread count.
+// The zero spec is the paper's baseline.
+type ConfigSpec struct {
+	// ROBSize rescales the out-of-order window (Figure 17/18 style): LSQ,
+	// issue queues and rename registers scale proportionally.
+	ROBSize int `json:"rob_size,omitempty"`
+	// MemLatency overrides the main-memory latency (the paper sweeps
+	// 200..800 cycles).
+	MemLatency int64 `json:"mem_latency,omitempty"`
+	// Prefetch enables/disables the stream-buffer prefetcher; omitted keeps
+	// the baseline (enabled).
+	Prefetch *bool `json:"prefetch,omitempty"`
+}
+
+// config materializes the spec for a workload of the given thread count.
+func (c *ConfigSpec) config(threads int) smtmlp.Config {
+	cfg := smtmlp.DefaultConfig(threads)
+	if c == nil {
+		return cfg
+	}
+	if c.ROBSize > 0 {
+		cfg = cfg.ScaleWindow(c.ROBSize)
+	}
+	if c.MemLatency > 0 {
+		cfg.Mem.MemLatency = c.MemLatency
+	}
+	if c.Prefetch != nil {
+		cfg.Mem.EnablePrefetch = *c.Prefetch
+	}
+	return cfg
+}
+
+// validate bounds-checks the spec.
+func (c *ConfigSpec) validate() error {
+	if c == nil {
+		return nil
+	}
+	if c.ROBSize < 0 || (c.ROBSize > 0 && c.ROBSize < 16) || c.ROBSize > 4096 {
+		return fmt.Errorf("rob_size %d outside [16, 4096]", c.ROBSize)
+	}
+	if c.MemLatency < 0 || c.MemLatency > 100_000 {
+		return fmt.Errorf("mem_latency %d outside [0, 100000]", c.MemLatency)
+	}
+	return nil
+}
+
+// RunRequest is the /v1/run body: one workload under one policy.
+type RunRequest struct {
+	Benchmarks []string    `json:"benchmarks"`
+	Policy     string      `json:"policy"`
+	Config     *ConfigSpec `json:"config,omitempty"`
+}
+
+// checkWorkload validates one benchmark list against the catalog and the
+// thread bound, writing the typed error body itself on failure.
+func (s *Server) checkWorkload(w http.ResponseWriter, benchmarks []string) bool {
+	if len(benchmarks) == 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "workload has no benchmarks")
+		return false
+	}
+	if len(benchmarks) > s.maxThreads {
+		writeError(w, http.StatusBadRequest, CodeTooManyThreads,
+			"workload has %d benchmarks, server limit is %d", len(benchmarks), s.maxThreads)
+		return false
+	}
+	for _, b := range benchmarks {
+		if !knownBenchmarks[b] {
+			writeError(w, http.StatusBadRequest, CodeUnknownBenchmark,
+				"unknown benchmark %q (see GET /v1/workloads)", b)
+			return false
+		}
+	}
+	return true
+}
+
+// knownBenchmarks is the catalog as a set, for O(1) request validation.
+var knownBenchmarks = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, b := range smtmlp.Benchmarks() {
+		m[b] = true
+	}
+	return m
+}()
+
+// parsePolicy validates a policy name, writing the typed error body itself
+// on failure.
+func parsePolicy(w http.ResponseWriter, name string) (smtmlp.Policy, bool) {
+	p, err := smtmlp.ParsePolicy(name)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeUnknownPolicy,
+			"unknown policy %q (see GET /v1/policies)", name)
+		return 0, false
+	}
+	return p, true
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !s.checkWorkload(w, req.Benchmarks) {
+		return
+	}
+	p, ok := parsePolicy(w, req.Policy)
+	if !ok {
+		return
+	}
+	if err := req.Config.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "config: %v", err)
+		return
+	}
+
+	res, err := s.eng.RunWorkload(r.Context(), req.Config.config(len(req.Benchmarks)),
+		smtmlp.Mix(req.Benchmarks...), p)
+	switch {
+	case errors.Is(err, smtmlp.ErrCanceled):
+		// The request context was canceled: either the client went away (the
+		// write below goes nowhere) or the server is draining for shutdown
+		// (the client gets a retryable 503). The two are indistinguishable
+		// here, so answer as if the client is still listening.
+		writeError(w, http.StatusServiceUnavailable, CodeCanceled, "run canceled: %v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+// BatchRequest is the /v1/batch body: the policy x workload cross-product on
+// one configuration point. The server executes (and streams) it policy-major
+// — all workloads under the first policy, then the second, ... — so the
+// first wave of workers covers distinct benchmarks and warms the reference
+// cache as broadly as possible.
+type BatchRequest struct {
+	Workloads [][]string  `json:"workloads"`
+	Policies  []string    `json:"policies"`
+	Config    *ConfigSpec `json:"config,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Workloads) == 0 || len(req.Policies) == 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+			"batch needs at least one workload and one policy")
+		return
+	}
+	if n := len(req.Workloads) * len(req.Policies); n > s.maxBatch {
+		writeError(w, http.StatusBadRequest, CodeBatchTooLarge,
+			"batch of %d simulations exceeds the server limit of %d", n, s.maxBatch)
+		return
+	}
+	policies := make([]smtmlp.Policy, len(req.Policies))
+	for i, name := range req.Policies {
+		p, ok := parsePolicy(w, name)
+		if !ok {
+			return
+		}
+		policies[i] = p
+	}
+	for _, benchmarks := range req.Workloads {
+		if !s.checkWorkload(w, benchmarks) {
+			return
+		}
+	}
+	if err := req.Config.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "config: %v", err)
+		return
+	}
+
+	// Policy-major request order: under one policy every workload needs a
+	// distinct set of single-threaded references, so the first wave of
+	// workers fans across benchmarks and warms the shared cache instead of
+	// piling onto one workload's references.
+	reqs := make([]smtmlp.Request, 0, len(req.Workloads)*len(req.Policies))
+	for _, p := range policies {
+		for _, benchmarks := range req.Workloads {
+			wl := smtmlp.Mix(benchmarks...)
+			reqs = append(reqs, smtmlp.Request{
+				Tag:      fmt.Sprintf("%s/%s", wl.Name(), p),
+				Config:   req.Config.config(len(benchmarks)),
+				Workload: wl,
+				Policy:   p,
+			})
+		}
+	}
+
+	s.batchesActive.Add(1)
+	defer s.batchesActive.Add(-1)
+	s.streamBatch(w, r, reqs)
+}
+
+// streamBatch runs the batch and streams one NDJSON line per result, in
+// submission order (a tiny reorder buffer holds out-of-order completions).
+// Submission-order emission keeps the byte stream deterministic — the
+// simulator itself is deterministic, so the same batch always yields the
+// identical payload — while results still reach the client incrementally,
+// well before the batch finishes. If the client disconnects, the request
+// context cancels the batch; the worker pool drains fully (the engine
+// guarantees exactly len(reqs) results) before the handler returns.
+func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, reqs []smtmlp.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Batch-Size", fmt.Sprint(len(reqs)))
+	flusher, _ := w.(http.Flusher)
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+
+	ch := s.eng.RunBatch(ctx, reqs)
+	pending := make(map[int]smtmlp.BatchResult)
+	next := 0
+	clientGone := false
+	for br := range ch {
+		pending[br.Index] = br
+		for {
+			line, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if clientGone {
+				continue
+			}
+			if err := writeLine(w, line); err != nil {
+				// The client stopped reading; cancel the rest of the batch
+				// and keep draining the channel so no worker leaks.
+				clientGone = true
+				s.clientsDropped.Add(1)
+				cancel()
+				continue
+			}
+			s.batchResults.Add(1)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+// writeLine encodes one NDJSON line.
+func writeLine(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -49,6 +49,7 @@ func (r *Runner) RunBatch(ctx context.Context, reqs []BatchRequest) <-chan Batch
 	if workers > len(reqs) {
 		workers = len(reqs)
 	}
+	r.queued.Add(int64(len(reqs)))
 
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -64,6 +65,7 @@ func (r *Runner) RunBatch(ctx context.Context, reqs []BatchRequest) <-chan Batch
 				} else {
 					br.Res, br.Err = r.RunWorkloadCtx(ctx, req.Config, req.Workload, req.Kind, req.Limiter)
 				}
+				r.queued.Add(-1)
 				out <- br
 			}
 		}()

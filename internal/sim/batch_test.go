@@ -95,6 +95,37 @@ func TestRunBatchCancellationDrains(t *testing.T) {
 	}
 }
 
+// TestRunnerGauges exercises the in-flight / queue-depth counters the
+// metrics endpoint reports: nonzero while a batch runs, zero once drained.
+func TestRunnerGauges(t *testing.T) {
+	cfg := core.DefaultConfig(2)
+	w := bench.Workload{Benchmarks: []string{"swim", "twolf"}}
+	var reqs []BatchRequest
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, BatchRequest{Config: cfg, Workload: w, Kind: policy.ICount})
+	}
+	r := NewRunner(Params{Instructions: 10_000, Warmup: 2_500, Parallelism: 1})
+	if r.InFlight() != 0 || r.QueueDepth() != 0 {
+		t.Fatalf("fresh runner reports in-flight %d, queued %d", r.InFlight(), r.QueueDepth())
+	}
+
+	ch := r.RunBatch(context.Background(), reqs)
+	first := <-ch
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	// With one worker and 8 requests, at least 6 are still queued the moment
+	// the first result is delivered.
+	if depth := r.QueueDepth(); depth < int64(len(reqs))-2 {
+		t.Fatalf("queue depth %d right after the first of %d results", depth, len(reqs))
+	}
+	for range ch {
+	}
+	if r.InFlight() != 0 || r.QueueDepth() != 0 {
+		t.Fatalf("drained runner reports in-flight %d, queued %d", r.InFlight(), r.QueueDepth())
+	}
+}
+
 func TestRunBatchEmpty(t *testing.T) {
 	r := NewRunner(Params{Instructions: 1_000})
 	if _, ok := <-r.RunBatch(context.Background(), nil); ok {

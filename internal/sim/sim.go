@@ -19,6 +19,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"smtmlp/internal/bench"
 	"smtmlp/internal/core"
@@ -117,7 +118,21 @@ type Runner struct {
 	Params Params
 
 	refs *RefCache
+
+	// Live-traffic gauges for a service built on the runner. inFlight counts
+	// simulations executing right now (multiprogram runs and reference runs
+	// alike); queued counts batch requests accepted by RunBatch but not yet
+	// finished.
+	inFlight atomic.Int64
+	queued   atomic.Int64
 }
+
+// InFlight reports the number of simulations executing at this instant.
+func (r *Runner) InFlight() int64 { return r.inFlight.Load() }
+
+// QueueDepth reports the number of batch requests accepted but not yet
+// finished (including those currently executing).
+func (r *Runner) QueueDepth() int64 { return r.queued.Load() }
 
 // NewRunner returns a Runner with the given parameters and a private
 // reference cache. A zero Instructions budget falls back to the harness
@@ -176,8 +191,10 @@ func (r *Runner) RunSingleCoreCtx(ctx context.Context, cfg core.Config, benchmar
 }
 
 // runWarm executes the warm-up phase, resets statistics and runs the
-// measured phase.
+// measured phase, counting the whole execution as one in-flight simulation.
 func (r *Runner) runWarm(c *core.Core) core.Result {
+	r.inFlight.Add(1)
+	defer r.inFlight.Add(-1)
 	if w := r.Params.warmup(); w > 0 {
 		c.Run(w)
 		c.ResetStats()

@@ -69,6 +69,56 @@ func TestClaimMLPAwareFlushBestPolicy(t *testing.T) {
 	}
 }
 
+// TestClaimMLPAwareFlushFourThreads extends the headline claim to the
+// four-thread mixes of Table III: with four contexts sharing the pipeline,
+// MLP-aware flush still clearly beats ICOUNT on both metrics for the
+// all-MLP-intensive group and improves flush's turnaround without giving up
+// throughput (the paper reports the MLP-aware policies' advantage carries
+// over to four threads, Figures 13 and 14).
+func TestClaimMLPAwareFlushFourThreads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reproduction claims need a moderate budget")
+	}
+	r := sim.NewRunner(sim.Params{Instructions: 60_000, Warmup: 20_000})
+	ws := bench.WorkloadsByClass(bench.FourThreadWorkloads(), bench.MLPWorkload)
+	if len(ws) != 3 {
+		t.Fatalf("Table III has %d all-MLP four-thread workloads, want 3", len(ws))
+	}
+
+	groupMetrics4 := func(k policy.Kind) (stp, antt float64) {
+		cfg := core.DefaultConfig(4)
+		var stps, antts []float64
+		for _, w := range ws {
+			res := r.RunWorkload(cfg, w, k, nil)
+			stps = append(stps, res.STP)
+			antts = append(antts, res.ANTT)
+		}
+		return metrics.HarmonicMean(stps), metrics.ArithmeticMean(antts)
+	}
+
+	icountSTP, icountANTT := groupMetrics4(policy.ICount)
+	flushSTP, flushANTT := groupMetrics4(policy.Flush)
+	mlpSTP, mlpANTT := groupMetrics4(policy.MLPFlush)
+
+	t.Logf("4-thread MLP group: icount STP %.3f ANTT %.3f | flush %.3f %.3f | mlpflush %.3f %.3f",
+		icountSTP, icountANTT, flushSTP, flushANTT, mlpSTP, mlpANTT)
+
+	// Mirror the two-thread thresholds: clearly better than ICOUNT on both
+	// metrics, no worse than flush on STP, strictly better on ANTT.
+	if mlpSTP < icountSTP*1.10 {
+		t.Errorf("4t mlpflush STP %.3f not >= 10%% above ICOUNT %.3f", mlpSTP, icountSTP)
+	}
+	if mlpANTT > icountANTT*0.90 {
+		t.Errorf("4t mlpflush ANTT %.3f not >= 10%% below ICOUNT %.3f", mlpANTT, icountANTT)
+	}
+	if mlpSTP < flushSTP*0.98 {
+		t.Errorf("4t mlpflush STP %.3f clearly below flush %.3f", mlpSTP, flushSTP)
+	}
+	if mlpANTT >= flushANTT {
+		t.Errorf("4t mlpflush ANTT %.3f not below flush %.3f", mlpANTT, flushANTT)
+	}
+}
+
 // TestClaimFlushBeatsStall verifies the Tullsen & Brown ordering the paper
 // confirms: flush generally outperforms stall fetch (resources are actually
 // freed, not just no longer grown).

@@ -24,6 +24,11 @@
 // WithCache) reuse each other's single-threaded references, the way a
 // long-running service amortizes them across requests.
 //
+// The package's result and request types carry JSON tags: they are the wire
+// format of the HTTP batch-simulation service (cmd/smtserved), which serves
+// one long-lived Engine over REST and streams batches back as NDJSON. The
+// serialization is pinned by a golden-file test; see DESIGN.md.
+//
 // Lower-level building blocks (the pipeline, the memory hierarchy, the LLSR
 // and predictors, the trace generators) live in the internal packages and
 // are documented in DESIGN.md; cmd/repro regenerates the paper's evaluation
@@ -32,6 +37,7 @@ package smtmlp
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -85,6 +91,21 @@ const (
 // Policies returns the six policies of the paper's main evaluation.
 func Policies() []Policy { return policy.Paper() }
 
+// AllPolicies returns every implemented policy, including the Section 6.5
+// alternatives.
+func AllPolicies() []Policy { return policy.Kinds() }
+
+// ParsePolicy resolves a policy's short name (its String form, e.g.
+// "mlpflush") back to a Policy; unknown names return an error wrapping
+// ErrUnknownPolicy.
+func ParsePolicy(name string) (Policy, error) {
+	p, err := policy.Parse(name)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownPolicy, name)
+	}
+	return p, nil
+}
+
 // Workload is a multiprogrammed mix of benchmarks.
 type Workload = bench.Workload
 
@@ -108,6 +129,9 @@ var (
 	// ErrUnknownBenchmark reports a benchmark name outside the Table I
 	// catalog (see Benchmarks for valid names).
 	ErrUnknownBenchmark = errors.New("smtmlp: unknown benchmark")
+	// ErrUnknownPolicy reports a policy name outside the implemented set
+	// (see AllPolicies).
+	ErrUnknownPolicy = errors.New("smtmlp: unknown policy")
 	// ErrCanceled reports a run abandoned because its context was canceled
 	// or its deadline expired.
 	ErrCanceled = errors.New("smtmlp: run canceled")
@@ -263,6 +287,33 @@ func (e *Engine) Parallelism() int { return e.runner.Params.Parallelism }
 // Cache returns the engine's reference cache (shared or private).
 func (e *Engine) Cache() *Cache { return e.cache }
 
+// EngineMetrics is a point-in-time snapshot of an engine's live-traffic
+// gauges and reference-cache counters, shaped for a metrics endpoint.
+type EngineMetrics struct {
+	// InFlight counts simulations executing right now (multiprogram runs
+	// and single-threaded reference runs alike).
+	InFlight int64 `json:"in_flight"`
+	// QueueDepth counts batch requests accepted but not yet finished.
+	QueueDepth int64 `json:"queue_depth"`
+
+	CacheEntries   int    `json:"cache_entries"`
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+}
+
+// Metrics snapshots the engine's gauges and cache counters. The snapshot is
+// not atomic across fields; it is meant for monitoring, not invariants.
+func (e *Engine) Metrics() EngineMetrics {
+	m := EngineMetrics{
+		InFlight:     e.runner.InFlight(),
+		QueueDepth:   e.runner.QueueDepth(),
+		CacheEntries: e.cache.Len(),
+	}
+	m.CacheHits, m.CacheMisses, m.CacheEvictions = e.cache.Stats()
+	return m
+}
+
 // RunOptions controls simulation length for the deprecated free functions.
 // The zero value selects laptop-scale defaults (300K instructions per
 // thread, one quarter of that as warm-up).
@@ -283,36 +334,38 @@ func (o RunOptions) options() []Option {
 	return []Option{WithInstructions(o.Instructions), WithWarmup(o.Warmup)}
 }
 
-// SingleResult reports a single-threaded run.
+// SingleResult reports a single-threaded run. The JSON tags are the wire
+// format served over HTTP (cmd/smtserved); renaming a tag is a breaking API
+// change and is pinned by the wire-schema golden test.
 type SingleResult struct {
-	IPC                  float64
-	Cycles               int64
-	Instructions         uint64
-	LLLPer1K             float64 // long-latency loads per 1K instructions
-	MLP                  float64 // Chou et al. MLP
-	BranchMispredictRate float64
+	IPC                  float64 `json:"ipc"`
+	Cycles               int64   `json:"cycles"`
+	Instructions         uint64  `json:"instructions"`
+	LLLPer1K             float64 `json:"lll_per_1k"` // long-latency loads per 1K instructions
+	MLP                  float64 `json:"mlp"`        // Chou et al. MLP
+	BranchMispredictRate float64 `json:"branch_mispredict_rate"`
 }
 
 // ThreadResult reports one thread of a multiprogrammed run.
 type ThreadResult struct {
-	Benchmark string
-	IPC       float64
-	Committed uint64
-	LLLPer1K  float64
-	MLP       float64
-	Flushes   uint64
-	CPIST     float64 // single-threaded CPI at the same instruction count
-	CPIMT     float64 // multithreaded CPI in this run
+	Benchmark string  `json:"benchmark"`
+	IPC       float64 `json:"ipc"`
+	Committed uint64  `json:"committed"`
+	LLLPer1K  float64 `json:"lll_per_1k"`
+	MLP       float64 `json:"mlp"`
+	Flushes   uint64  `json:"flushes"`
+	CPIST     float64 `json:"cpi_st"` // single-threaded CPI at the same instruction count
+	CPIMT     float64 `json:"cpi_mt"` // multithreaded CPI in this run
 }
 
 // WorkloadResult reports a multiprogrammed run with the paper's system-level
 // metrics.
 type WorkloadResult struct {
-	Policy  string
-	Threads []ThreadResult
-	Cycles  int64
-	STP     float64 // system throughput; higher is better
-	ANTT    float64 // average normalized turnaround time; lower is better
+	Policy  string         `json:"policy"`
+	Threads []ThreadResult `json:"threads"`
+	Cycles  int64          `json:"cycles"`
+	STP     float64        `json:"stp"`  // system throughput; higher is better
+	ANTT    float64        `json:"antt"` // average normalized turnaround time; lower is better
 }
 
 // RunSingle simulates one benchmark alone on cfg.
@@ -374,12 +427,13 @@ func workloadResult(w Workload, res sim.WorkloadResult) WorkloadResult {
 
 // Request is one simulation in a batch: a configuration point, a workload
 // and a fetch policy. Tag is caller-chosen and echoed on the result (
-// CrossProduct fills it with "workload/policy").
+// CrossProduct fills it with "workload/policy"). Policy marshals as its
+// short name ("mlpflush"), so a Request round-trips through JSON.
 type Request struct {
-	Tag      string
-	Config   Config
-	Workload Workload
-	Policy   Policy
+	Tag      string   `json:"tag,omitempty"`
+	Config   Config   `json:"config"`
+	Workload Workload `json:"workload"`
+	Policy   Policy   `json:"policy"`
 }
 
 // BatchResult pairs a finished Request with its outcome. Index is the
@@ -391,6 +445,45 @@ type BatchResult struct {
 	Request Request
 	Result  WorkloadResult
 	Err     error
+}
+
+// batchResultWire is the JSON shape of a BatchResult: the error travels as a
+// string ("" = success) and a failed request omits its result.
+type batchResultWire struct {
+	Index   int             `json:"index"`
+	Request Request         `json:"request"`
+	Result  *WorkloadResult `json:"result,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// MarshalJSON implements the NDJSON line format the batch service streams:
+// {"index":..,"request":{..},"result":{..}} on success,
+// {"index":..,"request":{..},"error":"..."} on failure.
+func (r BatchResult) MarshalJSON() ([]byte, error) {
+	w := batchResultWire{Index: r.Index, Request: r.Request}
+	if r.Err != nil {
+		w.Error = r.Err.Error()
+	} else {
+		w.Result = &r.Result
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the wire form. A remote failure surfaces as a plain
+// error carrying the server's message; it no longer matches the package's
+// typed errors (the error crossed a process boundary).
+func (r *BatchResult) UnmarshalJSON(data []byte) error {
+	var w batchResultWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*r = BatchResult{Index: w.Index, Request: w.Request}
+	if w.Error != "" {
+		r.Err = errors.New(w.Error)
+	} else if w.Result != nil {
+		r.Result = *w.Result
+	}
+	return nil
 }
 
 // CrossProduct builds the policy x workload cross-product on one
