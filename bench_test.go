@@ -8,11 +8,13 @@
 // reproduces the whole evaluation in one run. cmd/repro prints the full
 // rows/series at configurable budgets; EXPERIMENTS.md records a reference
 // run at larger scale.
-package smtmlp
+package smtmlp_test
 
 import (
 	"context"
 	"testing"
+
+	"smtmlp"
 
 	"smtmlp/internal/bench"
 	"smtmlp/internal/experiments"
@@ -210,11 +212,11 @@ func BenchmarkCorePipeline(b *testing.B) {
 		b.Skip("pipeline benchmark runs a full-size simulation; skipped in -short")
 	}
 	r := sim.NewRunner(sim.Params{Instructions: 50_000, Warmup: 0, Parallelism: 1})
-	cfg := DefaultConfig(2)
+	cfg := smtmlp.DefaultConfig(2)
 	w := bench.Workload{Benchmarks: []string{"mcf", "galgel"}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := r.RunWorkload(cfg, w, MLPFlush, nil)
+		res := r.RunWorkload(cfg, w, smtmlp.MLPFlush, nil)
 		b.ReportMetric(float64(res.Result.Cycles), "cycles")
 	}
 }

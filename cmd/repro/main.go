@@ -4,12 +4,17 @@
 //
 // Usage:
 //
-//	repro [-instructions N] [-warmup N] [-parallel N] [-only list]
+//	repro [-instructions N] [-warmup N] [-parallel N] [-only list] [-store DIR]
 //
 // -only selects a comma-separated subset of:
 //
 //	table1, fig4, fig5, predictors, fig9-10, fig11-12, fig13-14,
 //	fig15-16, fig17-18, fig20-21, fig22-23
+//
+// With -store, the policy comparisons (fig9-10, fig13-14) run through the
+// campaign subsystem against the persistent result store at DIR: cells
+// already simulated (at the same budget and configuration) are reused, and
+// an interrupted reproduction resumes instead of restarting.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"smtmlp/internal/bench"
 	"smtmlp/internal/experiments"
 	"smtmlp/internal/sim"
+	"smtmlp/internal/store"
 )
 
 func main() {
@@ -32,6 +38,7 @@ func main() {
 	warmup := flag.Uint64("warmup", 0, "warm-up instructions before measurement (0 = budget/4)")
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	only := flag.String("only", "", "comma-separated experiment subset (empty = all)")
+	storeDir := flag.String("store", "", "persistent result store for the policy comparisons (empty = in-memory only)")
 	flag.Parse()
 
 	// Ctrl-C / SIGTERM cancels the batch pools: in-flight simulations
@@ -53,6 +60,38 @@ func main() {
 	}
 	want := func(name string) bool { return len(selected) == 0 || selected[name] }
 
+	// With -store, the policy comparisons go through the campaign subsystem:
+	// persistent, deduplicated, resumable after an interruption.
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer st.Close()
+	}
+	comparison := func(threads int) func() fmt.Stringer {
+		return func() fmt.Stringer {
+			if st == nil {
+				if threads == 4 {
+					return experiments.Figure13and14(ctx, runner)
+				}
+				return experiments.Figure9and10(ctx, runner)
+			}
+			pc, sum, err := experiments.PolicyComparisonCampaign(ctx, st, threads,
+				*instructions, *warmup, *parallel)
+			if err != nil && ctx.Err() == nil {
+				fmt.Fprintln(os.Stderr, err)
+				st.Close() // os.Exit skips the deferred Close
+				os.Exit(1)
+			}
+			fmt.Printf("(campaign: %d cells, %d from store, %d simulated)\n",
+				sum.Total, sum.Skipped, sum.Executed)
+			return pc
+		}
+	}
+
 	type experiment struct {
 		name string
 		run  func() fmt.Stringer
@@ -62,9 +101,9 @@ func main() {
 		{"fig4", func() fmt.Stringer { return experiments.Figure4(ctx, runner) }},
 		{"fig5", func() fmt.Stringer { return experiments.Figure5(ctx, runner) }},
 		{"predictors", func() fmt.Stringer { return predictorBundle{experiments.Predictors(ctx, runner)} }},
-		{"fig9-10", func() fmt.Stringer { return experiments.Figure9and10(ctx, runner) }},
+		{"fig9-10", comparison(2)},
 		{"fig11-12", func() fmt.Stringer { return ipcBundle{experiments.Figure9and10(ctx, runner)} }},
-		{"fig13-14", func() fmt.Stringer { return experiments.Figure13and14(ctx, runner) }},
+		{"fig13-14", comparison(4)},
 		{"fig15-16", func() fmt.Stringer { return experiments.Figure15and16(ctx, runner) }},
 		{"fig17-18", func() fmt.Stringer { return experiments.Figure17and18(ctx, runner) }},
 		{"fig20-21", func() fmt.Stringer { return experiments.Figure20and21(ctx, runner) }},

@@ -5,7 +5,11 @@
 // Usage:
 //
 //	smtserved [-addr :8344] [-instructions N] [-warmup N] [-parallelism N]
-//	          [-cache-size N] [-max-batch N] [-max-threads N]
+//	          [-cache-size N] [-max-batch N] [-max-threads N] [-store DIR]
+//
+// With -store, the server opens the persistent result store at DIR,
+// warm-starts its reference cache from it, and enables the asynchronous
+// campaign endpoints (POST/GET /v1/campaigns) backed by the same store.
 //
 // Quickstart:
 //
@@ -34,6 +38,7 @@ import (
 
 	"smtmlp"
 	"smtmlp/internal/server"
+	"smtmlp/internal/store"
 )
 
 func main() {
@@ -51,6 +56,7 @@ func run(ctx context.Context, args []string, out io.Writer) int {
 	cacheSize := fs.Int("cache-size", 0, "reference cache bound in profiles (0 = default)")
 	maxBatch := fs.Int("max-batch", server.DefaultMaxBatch, "max simulations per /v1/batch call")
 	maxThreads := fs.Int("max-threads", server.DefaultMaxThreads, "max benchmarks per workload")
+	storeDir := fs.String("store", "", "result store directory enabling the /v1/campaigns endpoints (empty = campaigns disabled)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -61,7 +67,38 @@ func run(ctx context.Context, args []string, out io.Writer) int {
 		smtmlp.WithParallelism(*parallelism),
 		smtmlp.WithCacheSize(*cacheSize),
 	)
-	handler := server.New(eng, server.WithMaxBatch(*maxBatch), server.WithMaxThreads(*maxThreads))
+	opts := []server.Option{
+		server.WithMaxBatch(*maxBatch),
+		server.WithMaxThreads(*maxThreads),
+		// Campaigns run on the signal context: SIGINT/SIGTERM interrupts
+		// them cleanly, and a re-POSTed spec resumes from the store.
+		server.WithBaseContext(ctx),
+	}
+	var handler *server.Server
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer st.Close()
+		// Campaigns run detached from any HTTP request: wait for them to
+		// observe the (by then canceled) base context and finish committing
+		// before the deferred st.Close above runs. LIFO defer order makes
+		// the drain happen first.
+		defer func() {
+			if handler != nil {
+				handler.DrainCampaigns()
+			}
+		}()
+		// Warm-start the service engine from the store's persisted
+		// single-threaded references: restarts skip reference re-simulation.
+		if n := eng.Cache().Seed(st.Refs()); n > 0 {
+			fmt.Fprintf(out, "smtserved warm-started %d reference profiles from %s\n", n, *storeDir)
+		}
+		opts = append(opts, server.WithStore(st))
+	}
+	handler = server.New(eng, opts...)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,175 @@
+// Command smtsweep runs a declarative simulation campaign against a
+// persistent, content-addressed result store: a JSON spec (policies x
+// workloads x configuration grid) expands into requests, the store is
+// diffed, and only the missing cells execute. Results commit to the store
+// as they finish, in deterministic order, so an interrupted sweep resumes
+// exactly where it stopped.
+//
+// Usage:
+//
+//	smtsweep -spec spec.json -store DIR [-resume] [-parallelism N] [-quiet]
+//
+// The spec format is internal/campaign.Spec; the minimal useful spec is
+//
+//	{"workloads": {"tables": ["two_thread"]}}
+//
+// (all Table II workloads under the paper's six policies on the Table IV
+// baseline). Re-running a spec over a store that already holds some of its
+// results requires -resume, which fills only the gaps; without -resume the
+// overlap is treated as an operator mistake and the sweep refuses to start.
+// Ctrl-C interrupts cleanly: everything finished so far stays in the store,
+// and a later -resume run completes the grid.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"smtmlp"
+	"smtmlp/internal/campaign"
+	"smtmlp/internal/store"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("smtsweep", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	specPath := fs.String("spec", "", `campaign spec file ("-" reads stdin)`)
+	storeDir := fs.String("store", "", "result store directory (created if missing)")
+	resume := fs.Bool("resume", false, "allow filling the gaps of a partially-run spec")
+	parallelism := fs.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	quiet := fs.Bool("quiet", false, "suppress per-result progress lines")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *specPath == "" || *storeDir == "" {
+		fmt.Fprintln(errOut, "smtsweep: -spec and -store are required")
+		return 2
+	}
+
+	spec, err := readSpec(*specPath)
+	if err != nil {
+		fmt.Fprintf(errOut, "smtsweep: %v\n", err)
+		return 2
+	}
+	_, fps, err := spec.Requests()
+	if err != nil {
+		fmt.Fprintf(errOut, "smtsweep: invalid spec: %v\n", err)
+		return 2
+	}
+
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		fmt.Fprintf(errOut, "smtsweep: %v\n", err)
+		return 1
+	}
+	defer st.Close()
+
+	// An overlap without -resume is an operator mistake (wrong store, or an
+	// interrupted sweep the operator may not know about): refuse loudly.
+	overlap := 0
+	for _, fp := range fps {
+		if st.Has(fp) {
+			overlap++
+		}
+	}
+	if overlap > 0 && !*resume {
+		fmt.Fprintf(errOut, "smtsweep: store already holds %d of this spec's %d results; pass -resume to fill the remaining gaps\n",
+			overlap, len(fps))
+		return 1
+	}
+
+	progress := func(p campaign.Progress) {
+		if *quiet {
+			return
+		}
+		fmt.Fprintf(out, "progress: %d/%d done (%d cached, %d executed, %d failed)\n",
+			p.Skipped+p.Executed+p.Failed, p.Total, p.Skipped, p.Executed, p.Failed)
+	}
+	sum, runErr := campaign.Run(ctx, st, spec, campaign.Options{
+		Parallelism: *parallelism,
+		Progress:    progress,
+	})
+
+	name := sum.Name
+	if name == "" {
+		name = "campaign"
+	}
+	fmt.Fprintf(out, "%s: total=%d skipped=%d executed=%d failed=%d refs_seeded=%d refs_saved=%d\n",
+		name, sum.Total, sum.Skipped, sum.Executed, sum.Failed, sum.RefsSeeded, sum.RefsSaved)
+
+	if runErr != nil {
+		if errors.Is(runErr, smtmlp.ErrCanceled) {
+			fmt.Fprintf(errOut, "smtsweep: interrupted; run again with -resume to finish the remaining %d cells\n",
+				sum.Total-sum.Skipped-sum.Executed-sum.Failed)
+		} else {
+			fmt.Fprintf(errOut, "smtsweep: %v\n", runErr)
+		}
+		return 1
+	}
+
+	rows, err := campaign.Summarize(st, spec)
+	if err != nil {
+		fmt.Fprintf(errOut, "smtsweep: summarizing: %v\n", err)
+		return 1
+	}
+	printSummary(out, rows)
+	return 0
+}
+
+// readSpec loads the campaign spec, rejecting unknown fields so a typo'd
+// dimension fails loudly instead of silently sweeping the baseline.
+func readSpec(path string) (campaign.Spec, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return campaign.Spec{}, err
+		}
+		defer f.Close()
+		r = f
+	}
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec campaign.Spec
+	if err := dec.Decode(&spec); err != nil {
+		return campaign.Spec{}, fmt.Errorf("decoding spec %s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// printSummary renders the per-(config, policy) aggregate table.
+func printSummary(out io.Writer, rows []campaign.SummaryRow) {
+	if len(rows) == 0 {
+		fmt.Fprintln(out, "no results to summarize")
+		return
+	}
+	wc, wp := len("config"), len("policy")
+	for _, r := range rows {
+		if len(r.Config) > wc {
+			wc = len(r.Config)
+		}
+		if len(r.Policy) > wp {
+			wp = len(r.Policy)
+		}
+	}
+	fmt.Fprintf(out, "%-*s  %-*s  %9s  %9s  %9s\n", wc, "config", wp, "policy", "workloads", "STP", "ANTT")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-*s  %-*s  %9d  %9.3f  %9.3f\n", wc, r.Config, wp, r.Policy, r.Workloads, r.STP, r.ANTT)
+	}
+	fmt.Fprintln(out, "note: STP harmonic-mean (higher better), ANTT arithmetic-mean (lower better), per the paper")
+}

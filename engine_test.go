@@ -247,37 +247,132 @@ func TestEngineSharedCache(t *testing.T) {
 	}
 }
 
-// TestDeprecatedShimsMatchEngine pins the old free functions to the Engine
-// path they now delegate to.
-func TestDeprecatedShimsMatchEngine(t *testing.T) {
+// TestEngineWorkloadMismatch is the regression test for the typed
+// thread-count validation: a workload whose benchmark count differs from the
+// configuration's thread count must fail fast with ErrWorkloadMismatch at
+// the Engine boundary instead of surfacing as a confusing deep-sim failure.
+func TestEngineWorkloadMismatch(t *testing.T) {
+	e := NewEngine(fastEngineOptions()...)
+	ctx := context.Background()
+
+	// RunWorkload: 3 benchmarks on a 2-thread configuration.
+	_, err := e.RunWorkload(ctx, DefaultConfig(2), Mix("swim", "twolf", "gcc"), ICount)
+	if !errors.Is(err, ErrWorkloadMismatch) {
+		t.Fatalf("RunWorkload mismatch: %v, want ErrWorkloadMismatch", err)
+	}
+	// RunSingle requires a single-threaded configuration.
+	if _, err := e.RunSingle(ctx, DefaultConfig(2), "gcc"); !errors.Is(err, ErrWorkloadMismatch) {
+		t.Fatalf("RunSingle mismatch: %v, want ErrWorkloadMismatch", err)
+	}
+	// RunBatch: the mismatched request fails, the valid one completes.
+	reqs := []Request{
+		{Config: DefaultConfig(2), Workload: Mix("swim", "twolf"), Policy: ICount},
+		{Config: DefaultConfig(4), Workload: Mix("swim", "twolf"), Policy: ICount},
+	}
+	var ok, mismatched int
+	for br := range e.RunBatch(ctx, reqs) {
+		switch {
+		case br.Err == nil:
+			ok++
+		case errors.Is(br.Err, ErrWorkloadMismatch):
+			mismatched++
+		default:
+			t.Fatalf("unexpected batch error: %v", br.Err)
+		}
+	}
+	if ok != 1 || mismatched != 1 {
+		t.Fatalf("batch outcomes ok=%d mismatched=%d, want 1 and 1", ok, mismatched)
+	}
+	// An unknown benchmark still wins over the count check (it is the more
+	// actionable error).
+	if _, err := e.RunWorkload(ctx, DefaultConfig(2), Mix("nope"), ICount); !errors.Is(err, ErrUnknownBenchmark) {
+		t.Fatalf("unknown benchmark with wrong count: %v, want ErrUnknownBenchmark", err)
+	}
+}
+
+// TestFingerprint pins the content-address semantics the result store
+// depends on: equal requests agree, and every input dimension — benchmarks,
+// policy, budget, any configuration field — changes the fingerprint.
+func TestFingerprint(t *testing.T) {
+	base := Request{Config: DefaultConfig(2), Workload: Mix("mcf", "galgel"), Policy: MLPFlush}
+	fp := Fingerprint(base, 10_000, 2_500)
+	if fp != Fingerprint(base, 10_000, 2_500) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	tagged := base
+	tagged.Tag = "some-label"
+	if Fingerprint(tagged, 10_000, 2_500) != fp {
+		t.Fatal("tag must not change the fingerprint")
+	}
+	variants := map[string]Request{}
+	v := base
+	v.Workload = Mix("mcf", "swim")
+	variants["benchmarks"] = v
+	v = base
+	v.Policy = ICount
+	variants["policy"] = v
+	v = base
+	v.Config.Mem.MemLatency = 500
+	variants["mem latency"] = v
+	v = base
+	v.Config = v.Config.ScaleWindow(512)
+	variants["window"] = v
+	for dim, req := range variants {
+		if Fingerprint(req, 10_000, 2_500) == fp {
+			t.Fatalf("changing %s did not change the fingerprint", dim)
+		}
+	}
+	if Fingerprint(base, 20_000, 2_500) == fp || Fingerprint(base, 10_000, 5_000) == fp {
+		t.Fatal("budget must change the fingerprint")
+	}
+
+	// The engine method applies its own resolved budget.
+	e := NewEngine(WithInstructions(10_000), WithWarmup(2_500))
+	if e.Fingerprint(base) != fp {
+		t.Fatalf("engine fingerprint %q != %q", e.Fingerprint(base), fp)
+	}
+}
+
+// TestCacheExportSeed verifies the warm-start path: profiles exported from a
+// warm cache and seeded into a fresh one fully replace reference
+// re-simulation, with identical results.
+func TestCacheExportSeed(t *testing.T) {
 	cfg := DefaultConfig(2)
-	w := Mix("swim", "twolf")
-	opts := RunOptions{Instructions: 8_000, Warmup: 2_000}
-
-	old, err := RunWorkload(cfg, w, MLPFlush, opts)
+	w := Mix("mcf", "galgel")
+	warm := NewCache(32)
+	e1 := NewEngine(append(fastEngineOptions(), WithCache(warm))...)
+	want, err := e1.RunWorkload(context.Background(), cfg, w, MLPFlush)
 	if err != nil {
 		t.Fatal(err)
-	}
-	eng, err := NewEngine(WithInstructions(8_000), WithWarmup(2_000)).
-		RunWorkload(context.Background(), cfg, w, MLPFlush)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if old.STP != eng.STP || old.ANTT != eng.ANTT || old.Cycles != eng.Cycles {
-		t.Fatalf("shim result STP=%v ANTT=%v differs from engine STP=%v ANTT=%v",
-			old.STP, old.ANTT, eng.STP, eng.ANTT)
 	}
 
-	oldSingle, err := RunSingle(DefaultConfig(1), "gcc", opts)
+	exported := warm.Export()
+	if len(exported) != 2 {
+		t.Fatalf("exported %d profiles, want 2", len(exported))
+	}
+	for i := 1; i < len(exported); i++ {
+		if exported[i-1].Key >= exported[i].Key {
+			t.Fatalf("export not sorted by key: %q >= %q", exported[i-1].Key, exported[i].Key)
+		}
+	}
+
+	seeded := NewCache(32)
+	if n := seeded.Seed(exported); n != len(exported) {
+		t.Fatalf("seeded %d profiles, want %d", n, len(exported))
+	}
+	if n := seeded.Seed(exported); n != 0 {
+		t.Fatalf("re-seeding inserted %d profiles, want 0", n)
+	}
+	e2 := NewEngine(append(fastEngineOptions(), WithCache(seeded))...)
+	got, err := e2.RunWorkload(context.Background(), cfg, w, MLPFlush)
 	if err != nil {
 		t.Fatal(err)
 	}
-	engSingle, err := NewEngine(WithInstructions(8_000), WithWarmup(2_000)).
-		RunSingle(context.Background(), DefaultConfig(1), "gcc")
-	if err != nil {
-		t.Fatal(err)
+	if _, misses, _ := seeded.Stats(); misses != 0 {
+		t.Fatalf("seeded cache re-simulated %d references, want 0", misses)
 	}
-	if oldSingle != engSingle {
-		t.Fatalf("shim single %+v differs from engine %+v", oldSingle, engSingle)
+	if got.STP != want.STP || got.ANTT != want.ANTT || got.Cycles != want.Cycles {
+		t.Fatalf("seeded-cache result %v/%v differs from original %v/%v",
+			got.STP, got.ANTT, want.STP, want.ANTT)
 	}
 }

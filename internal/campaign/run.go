@@ -1,0 +1,243 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"smtmlp"
+	"smtmlp/internal/metrics"
+	"smtmlp/internal/store"
+)
+
+// Options tunes campaign execution.
+type Options struct {
+	// Cache shares an existing reference cache (e.g. a long-lived service
+	// engine's) with the campaign's engine; nil uses a private cache. Either
+	// way the cache is seeded from the store's persisted references before
+	// execution, and new references are merged back afterwards.
+	Cache *smtmlp.Cache
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// Progress, when set, is invoked after every cell is accounted for
+	// (persisted, skipped or failed). Calls are sequential.
+	Progress func(Progress)
+}
+
+// Progress is a live campaign snapshot.
+type Progress struct {
+	// Total is the grid size; Skipped cells were already in the store.
+	Total, Skipped int
+	// Executed cells ran and were persisted this run; Failed cells ran and
+	// failed deterministically (they are not persisted).
+	Executed, Failed int
+}
+
+// Summary reports a finished (or interrupted) campaign run.
+type Summary struct {
+	Name string `json:"name,omitempty"`
+	// Total = Skipped + Executed + Failed when the run completed; an
+	// interrupted run accounts the rest as neither executed nor failed.
+	Total    int `json:"total"`
+	Skipped  int `json:"skipped"`
+	Executed int `json:"executed"`
+	Failed   int `json:"failed"`
+	// RefsSeeded references were warm-started from the store; RefsSaved new
+	// references were persisted back. CacheMisses counts reference
+	// simulations actually run by this campaign (0 on a fully warm-started
+	// store) — a delta, so a shared service cache's prior traffic does not
+	// leak in.
+	RefsSeeded  int    `json:"refs_seeded"`
+	RefsSaved   int    `json:"refs_saved"`
+	CacheMisses uint64 `json:"cache_misses"`
+}
+
+// Run executes the spec against the store: expand, diff, execute only the
+// missing cells, and commit each finished result — in submission order — to
+// the store. The engine is built from the spec's budget (so fingerprints
+// and results always agree) and warm-started from the store's persisted
+// single-threaded references.
+//
+// Cancellation is clean and resumable: on ctx cancellation the batch pool
+// drains, everything already committed stays committed, references computed
+// so far are persisted, and Run returns the partial Summary with an error
+// matching smtmlp.ErrCanceled (and context.Canceled). Because results are
+// committed strictly in submission order and the simulator is
+// deterministic, re-running the same spec after any interruption yields a
+// store byte-identical to an uninterrupted run.
+func Run(ctx context.Context, st *store.Store, spec Spec, opts Options) (Summary, error) {
+	sum := Summary{Name: spec.Name}
+	reqs, fps, err := spec.Requests()
+	if err != nil {
+		return sum, err
+	}
+	sum.Total = len(reqs)
+
+	instructions, warmup := spec.Params()
+	eng := smtmlp.NewEngine(
+		smtmlp.WithInstructions(instructions),
+		smtmlp.WithWarmup(warmup),
+		smtmlp.WithParallelism(opts.Parallelism),
+		smtmlp.WithCache(opts.Cache),
+	)
+	sum.RefsSeeded = eng.Cache().Seed(st.Refs())
+	_, missesBefore, _ := eng.Cache().Stats()
+
+	// Diff against the store: only the missing cells execute. Because
+	// results commit in submission order, the persisted set after an
+	// interruption is a prefix of the (deduplicated) expansion with
+	// deterministic failures removed — so the missing cells are exactly the
+	// suffix, and the resumed appends continue where the interrupted run
+	// stopped.
+	var missing []smtmlp.Request
+	var missingFP []string
+	for i, fp := range fps {
+		if st.Has(fp) {
+			sum.Skipped++
+			continue
+		}
+		missing = append(missing, reqs[i])
+		missingFP = append(missingFP, fp)
+	}
+	report := func() {
+		if opts.Progress != nil {
+			opts.Progress(Progress{Total: sum.Total, Skipped: sum.Skipped,
+				Executed: sum.Executed, Failed: sum.Failed})
+		}
+	}
+	report()
+
+	var runErr error
+	if len(missing) > 0 {
+		runErr = execute(ctx, eng, st, missing, missingFP, &sum, report)
+	}
+
+	// Persist the references computed so far — also on cancellation, so the
+	// resumed run warm-starts from them.
+	saved, mergeErr := st.MergeRefs(eng.Cache().Export())
+	sum.RefsSaved = saved
+	_, missesAfter, _ := eng.Cache().Stats()
+	sum.CacheMisses = missesAfter - missesBefore
+	if runErr == nil {
+		runErr = mergeErr
+	}
+	return sum, runErr
+}
+
+// execute fans the missing cells over the engine's batch pool and commits
+// results in submission order via a reorder buffer. A deterministic
+// per-request failure is skipped (an uninterrupted run would skip it
+// identically); a cancellation stops the commit cursor entirely, because
+// cells behind the cursor must be re-executed for the store to stay a
+// prefix of the expansion order.
+func execute(ctx context.Context, eng *smtmlp.Engine, st *store.Store,
+	missing []smtmlp.Request, missingFP []string, sum *Summary, report func()) error {
+	// Own cancel handle: if persisting fails mid-campaign the batch must
+	// stop too, or the pool would simulate the whole remaining grid into
+	// results nobody commits.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	pending := make(map[int]smtmlp.BatchResult, len(missing))
+	next := 0
+	var canceled error
+	ch := eng.RunBatch(ctx, missing)
+	for br := range ch {
+		if br.Err != nil && errors.Is(br.Err, smtmlp.ErrCanceled) {
+			if canceled == nil {
+				canceled = br.Err
+			}
+			continue
+		}
+		pending[br.Index] = br
+		for {
+			line, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if line.Err != nil {
+				sum.Failed++
+			} else {
+				// A concurrent campaign may have raced us to this cell; the
+				// deduplicating Append keeps the incumbent, and (the
+				// simulator being deterministic) the result is identical
+				// either way.
+				if _, err := st.Append(store.Record{
+					Fingerprint: missingFP[next],
+					Request:     line.Request,
+					Result:      line.Result,
+				}); err != nil {
+					// Stop the batch and drain it (cancellation makes the
+					// remaining requests fail fast) so no worker outlives
+					// the campaign simulating cells nobody will commit.
+					cancel()
+					for range ch {
+					}
+					return fmt.Errorf("campaign: persisting %s: %w", line.Request.Tag, err)
+				}
+				sum.Executed++
+			}
+			next++
+			report()
+		}
+	}
+	if canceled != nil {
+		return canceled
+	}
+	return nil
+}
+
+// SummaryRow aggregates one (configuration point, policy) cell of a
+// campaign across its workloads, using the paper's averaging rules
+// (harmonic mean for STP, arithmetic mean for ANTT).
+type SummaryRow struct {
+	Config    string  `json:"config"`
+	Policy    string  `json:"policy"`
+	Workloads int     `json:"workloads"`
+	STP       float64 `json:"stp"`
+	ANTT      float64 `json:"antt"`
+}
+
+// Summarize aggregates the spec's persisted results from the store into one
+// row per (configuration point, policy), in expansion order. Cells not yet
+// in the store are simply absent from the averages, so a partially-run
+// campaign summarizes over what exists.
+func Summarize(st *store.Store, spec Spec) ([]SummaryRow, error) {
+	reqs, fps, err := spec.Requests()
+	if err != nil {
+		return nil, err
+	}
+	type cell struct{ stps, antts []float64 }
+	cells := make(map[string]*cell)
+	var order []string
+	for i, req := range reqs {
+		rec, ok := st.Get(fps[i])
+		if !ok {
+			continue
+		}
+		label, _, _ := strings.Cut(req.Tag, "/")
+		key := label + "\x00" + req.Policy.String()
+		c := cells[key]
+		if c == nil {
+			c = &cell{}
+			cells[key] = c
+			order = append(order, key)
+		}
+		c.stps = append(c.stps, rec.Result.STP)
+		c.antts = append(c.antts, rec.Result.ANTT)
+	}
+	rows := make([]SummaryRow, 0, len(order))
+	for _, key := range order {
+		c := cells[key]
+		label, policy, _ := strings.Cut(key, "\x00")
+		rows = append(rows, SummaryRow{
+			Config:    label,
+			Policy:    policy,
+			Workloads: len(c.stps),
+			STP:       metrics.HarmonicMean(c.stps),
+			ANTT:      metrics.ArithmeticMean(c.antts),
+		})
+	}
+	return rows, nil
+}

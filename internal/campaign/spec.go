@@ -1,0 +1,416 @@
+// Package campaign turns declarative sweep specifications into persistent,
+// resumable simulation campaigns: a Spec (policies x workloads x a grid of
+// configuration variants) expands deterministically into smtmlp.Requests,
+// is diffed against a result store, and only the missing cells execute —
+// through one smtmlp.Engine batch — with every finished result committed to
+// the store in submission order. Interrupt a campaign at any point and run
+// it again: it picks up exactly where it left off, and the final store is
+// byte-identical to an uninterrupted run.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"smtmlp"
+	"smtmlp/internal/bench"
+	"smtmlp/internal/rng"
+	"smtmlp/internal/sim"
+)
+
+// Spec declares a sweep: which policies, over which workloads, across which
+// configuration grid, at what measurement budget. The zero value of every
+// field selects a sensible default, so the minimal useful spec is just a
+// workload selector. Specs are plain JSON (this is the wire format of
+// cmd/smtsweep specs and of POST /v1/campaigns).
+type Spec struct {
+	// Name labels the campaign in summaries and the service's campaign list.
+	Name string `json:"name,omitempty"`
+
+	// Instructions is the per-thread measurement budget (0 = the engine
+	// default of 300K); Warmup executes before statistics reset (0 =
+	// Instructions/4). Both are part of every request's fingerprint: the
+	// same grid at two budgets is two disjoint sets of results.
+	Instructions uint64 `json:"instructions,omitempty"`
+	Warmup       uint64 `json:"warmup,omitempty"`
+
+	// Policies lists fetch policies by short name; empty means the paper's
+	// six main-evaluation policies.
+	Policies []string `json:"policies,omitempty"`
+
+	// Workloads selects the benchmark mixes.
+	Workloads WorkloadSpec `json:"workloads"`
+
+	// Grid declares configuration dimensions; empty means the Table IV
+	// baseline only.
+	Grid Grid `json:"grid,omitempty"`
+}
+
+// WorkloadSpec selects benchmark mixes from the paper's tables, from
+// explicit lists, and/or from a seeded generator over the benchmark catalog.
+// The selections are concatenated in the order of the fields below;
+// duplicate mixes are fine (expansion deduplicates by fingerprint).
+type WorkloadSpec struct {
+	// Tables names the paper's workload tables: "two_thread" (Table II,
+	// 36 mixes) and/or "four_thread" (Table III, 30 mixes).
+	Tables []string `json:"tables,omitempty"`
+
+	// Mixes lists explicit benchmark mixes. When Threads is set, every mix
+	// must have exactly that many benchmarks.
+	Mixes [][]string `json:"mixes,omitempty"`
+
+	// Threads is the required thread count for explicit mixes (0 = accept
+	// any size) and the default mix size for the generator.
+	Threads int `json:"threads,omitempty"`
+
+	// Generated draws additional mixes from the benchmark catalog, beyond
+	// the paper's fixed tables.
+	Generated *Generated `json:"generated,omitempty"`
+}
+
+// Generated is a seeded workload generator: Count distinct mixes of Threads
+// distinct benchmarks each, drawn deterministically from the catalog. The
+// same (seed, count, threads, class) always yields the same mixes, so
+// generated campaigns fingerprint and resume exactly like table-based ones.
+type Generated struct {
+	Count int `json:"count"`
+	// Threads is the mix size; 0 falls back to WorkloadSpec.Threads, then 2.
+	Threads int `json:"threads,omitempty"`
+	// Seed selects the deterministic stream (0 is a valid seed).
+	Seed uint64 `json:"seed,omitempty"`
+	// Class constrains mixes by the paper's benchmark classification:
+	// "ilp" (all ILP-intensive), "mlp" (all MLP-intensive), "mixed" (at
+	// least one of each), or "" (unconstrained).
+	Class string `json:"class,omitempty"`
+}
+
+// Grid declares configuration dimensions; the cross-product of all non-empty
+// dimensions is the set of configuration points. An empty dimension
+// contributes the baseline value.
+type Grid struct {
+	// ROBSizes rescales the out-of-order window (the Figure 17/18 sweep):
+	// LSQ, issue queues and rename registers scale proportionally.
+	ROBSizes []int `json:"rob_sizes,omitempty"`
+	// MemLatencies overrides main-memory latency (the Figure 15/16 sweep).
+	MemLatencies []int64 `json:"mem_latencies,omitempty"`
+	// Prefetch toggles the stream-buffer prefetcher.
+	Prefetch []bool `json:"prefetch,omitempty"`
+}
+
+// Params resolves the spec's measurement budget against the engine defaults:
+// the instructions and *effective* warm-up that parameterize every
+// fingerprint. There is one source of truth for the defaulting rule
+// (sim.Params), shared with the Engine.
+func (s Spec) Params() (instructions, warmup uint64) {
+	p := sim.DefaultParams()
+	if s.Instructions > 0 {
+		p.Instructions = s.Instructions
+	}
+	p.Warmup = s.Warmup
+	return p.Instructions, p.EffectiveWarmup()
+}
+
+// policies resolves the policy set (default: the paper's six).
+func (s Spec) policies() ([]smtmlp.Policy, error) {
+	if len(s.Policies) == 0 {
+		return smtmlp.Policies(), nil
+	}
+	out := make([]smtmlp.Policy, len(s.Policies))
+	for i, name := range s.Policies {
+		p, err := smtmlp.ParsePolicy(name)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// workloads resolves the workload selector into a concrete mix list.
+func (s Spec) workloads() ([]smtmlp.Workload, error) {
+	var out []smtmlp.Workload
+	for _, table := range s.Workloads.Tables {
+		switch table {
+		case "two_thread":
+			out = append(out, smtmlp.TwoThreadWorkloads()...)
+		case "four_thread":
+			out = append(out, smtmlp.FourThreadWorkloads()...)
+		default:
+			return nil, fmt.Errorf(`campaign: unknown workload table %q (want "two_thread" or "four_thread")`, table)
+		}
+	}
+	for _, names := range s.Workloads.Mixes {
+		if len(names) == 0 {
+			return nil, errors.New("campaign: empty workload mix")
+		}
+		if s.Workloads.Threads > 0 && len(names) != s.Workloads.Threads {
+			return nil, fmt.Errorf("%w: mix %s has %d benchmarks, spec requires threads=%d",
+				smtmlp.ErrWorkloadMismatch, strings.Join(names, "-"), len(names), s.Workloads.Threads)
+		}
+		out = append(out, classify(names))
+	}
+	if g := s.Workloads.Generated; g != nil {
+		gen, err := s.generate(*g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, gen...)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("campaign: spec selects no workloads")
+	}
+	for _, w := range out {
+		for _, b := range w.Benchmarks {
+			if _, err := bench.Get(b); err != nil {
+				return nil, fmt.Errorf("%w: %q", smtmlp.ErrUnknownBenchmark, b)
+			}
+		}
+	}
+	return out, nil
+}
+
+// classify builds a Workload with the paper's class annotation derived from
+// the catalog, so generated and explicit mixes aggregate by class exactly
+// like the table mixes do.
+func classify(names []string) smtmlp.Workload {
+	w := smtmlp.Workload{Benchmarks: names}
+	for _, n := range names {
+		if b, err := bench.Get(n); err == nil && b.PaperClass == bench.MLP {
+			w.MLPCount++
+		}
+	}
+	switch w.MLPCount {
+	case 0:
+		w.Class = bench.ILPWorkload
+	case len(names):
+		w.Class = bench.MLPWorkload
+	default:
+		w.Class = bench.MixedWorkload
+	}
+	return w
+}
+
+// maxGenerated bounds the generator: it caps both the sweep size a spec can
+// demand and the attempt budget below (a count beyond the distinct-mix space
+// exhausts attempts, so the cap is what keeps a hostile spec from spinning
+// the expander — which the HTTP handler runs synchronously).
+const maxGenerated = 10_000
+
+// generate draws g.Count distinct mixes deterministically from the catalog.
+func (s Spec) generate(g Generated) ([]smtmlp.Workload, error) {
+	if g.Count <= 0 {
+		return nil, fmt.Errorf("campaign: generated count %d must be positive", g.Count)
+	}
+	if g.Count > maxGenerated {
+		return nil, fmt.Errorf("campaign: generated count %d exceeds the limit of %d", g.Count, maxGenerated)
+	}
+	threads := g.Threads
+	if threads == 0 {
+		threads = s.Workloads.Threads
+	}
+	if threads == 0 {
+		threads = 2
+	}
+	if threads < 1 || threads > 8 {
+		return nil, fmt.Errorf("campaign: generated threads %d outside [1, 8]", threads)
+	}
+
+	var ilp, mlp []string
+	for _, b := range bench.All() {
+		if b.PaperClass == bench.MLP {
+			mlp = append(mlp, b.Model.Name)
+		} else {
+			ilp = append(ilp, b.Model.Name)
+		}
+	}
+	var pool []string
+	switch g.Class {
+	case "":
+		pool = append(append(pool, ilp...), mlp...)
+	case "ilp":
+		pool = ilp
+	case "mlp":
+		pool = mlp
+	case "mixed":
+		pool = append(append(pool, ilp...), mlp...)
+		if threads < 2 {
+			return nil, errors.New(`campaign: generated class "mixed" needs threads >= 2`)
+		}
+	default:
+		return nil, fmt.Errorf(`campaign: unknown generated class %q (want "ilp", "mlp", "mixed" or "")`, g.Class)
+	}
+	sort.Strings(pool) // deterministic draw order, independent of catalog order
+	if threads > len(pool) {
+		return nil, fmt.Errorf("campaign: generated threads %d exceeds the %d candidate benchmarks", threads, len(pool))
+	}
+
+	src := rng.New(g.Seed ^ 0xca3fa16e) // decorrelate from the trace models' seed space
+	seen := make(map[string]bool)
+	var out []smtmlp.Workload
+	for attempts := 0; len(out) < g.Count; attempts++ {
+		if attempts > 100*g.Count+1000 {
+			return nil, fmt.Errorf("campaign: could not generate %d distinct %q mixes of %d benchmarks", g.Count, g.Class, threads)
+		}
+		names := drawMix(src, pool, threads)
+		w := classify(names)
+		if g.Class == "mixed" && w.Class != bench.MixedWorkload {
+			continue
+		}
+		if seen[w.Name()] {
+			continue
+		}
+		seen[w.Name()] = true
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// drawMix draws n distinct benchmarks (a partial Fisher-Yates shuffle).
+func drawMix(src *rng.Source, pool []string, n int) []string {
+	cand := make([]string, len(pool))
+	copy(cand, pool)
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		j := i + src.Intn(len(cand)-i)
+		cand[i], cand[j] = cand[j], cand[i]
+		out[i] = cand[i]
+	}
+	return out
+}
+
+// point is one configuration point of the grid.
+type point struct {
+	label    string
+	rob      int
+	memlat   int64
+	prefetch *bool
+}
+
+// points expands the grid into labelled configuration points, in declared
+// order. The label ("base", "rob=512,mem=300", ...) prefixes request tags.
+func (s Spec) points() ([]point, error) {
+	robs := s.Grid.ROBSizes
+	if len(robs) == 0 {
+		robs = []int{0}
+	}
+	lats := s.Grid.MemLatencies
+	if len(lats) == 0 {
+		lats = []int64{0}
+	}
+	prefs := make([]*bool, 0, len(s.Grid.Prefetch))
+	if len(s.Grid.Prefetch) == 0 {
+		prefs = append(prefs, nil)
+	}
+	for i := range s.Grid.Prefetch {
+		prefs = append(prefs, &s.Grid.Prefetch[i])
+	}
+
+	var out []point
+	for _, rob := range robs {
+		if rob != 0 && (rob < 16 || rob > 4096) {
+			return nil, fmt.Errorf("campaign: rob size %d outside [16, 4096]", rob)
+		}
+		for _, lat := range lats {
+			if lat < 0 || lat > 100_000 {
+				return nil, fmt.Errorf("campaign: mem latency %d outside [0, 100000]", lat)
+			}
+			for _, pf := range prefs {
+				var parts []string
+				if rob != 0 {
+					parts = append(parts, fmt.Sprintf("rob=%d", rob))
+				}
+				if lat != 0 {
+					parts = append(parts, fmt.Sprintf("mem=%d", lat))
+				}
+				if pf != nil {
+					if *pf {
+						parts = append(parts, "pf=on")
+					} else {
+						parts = append(parts, "pf=off")
+					}
+				}
+				label := strings.Join(parts, ",")
+				if label == "" {
+					label = "base"
+				}
+				out = append(out, point{label: label, rob: rob, memlat: lat, prefetch: pf})
+			}
+		}
+	}
+	return out, nil
+}
+
+// config materializes a configuration point for a workload of the given
+// thread count, starting from the Table IV baseline.
+func (p point) config(threads int) smtmlp.Config {
+	cfg := smtmlp.DefaultConfig(threads)
+	if p.rob != 0 {
+		cfg = cfg.ScaleWindow(p.rob)
+	}
+	if p.memlat != 0 {
+		cfg.Mem.MemLatency = p.memlat
+	}
+	if p.prefetch != nil {
+		cfg.Mem.EnablePrefetch = *p.prefetch
+	}
+	return cfg
+}
+
+// Validate checks the spec without expanding it fully. Errors wrap the
+// public typed errors where one applies (smtmlp.ErrUnknownPolicy,
+// smtmlp.ErrUnknownBenchmark, smtmlp.ErrWorkloadMismatch).
+func (s Spec) Validate() error {
+	_, _, err := s.Requests()
+	return err
+}
+
+// Requests expands the spec deterministically into the campaign's request
+// list and the matching fingerprints (under the spec's resolved budget).
+// Expansion order is: grid points in declared order; within a point,
+// policy-major (all workloads under the first policy, then the second, ...)
+// so a batch's first worker wave spans distinct workloads and warms the
+// reference cache as broadly as possible. Requests are tagged
+// "<point>/<workload>/<policy>". Cells that repeat an earlier fingerprint
+// (e.g. a generated mix duplicating a table mix) are dropped, keeping the
+// first occurrence, so the expansion is duplicate-free and stable.
+func (s Spec) Requests() ([]smtmlp.Request, []string, error) {
+	policies, err := s.policies()
+	if err != nil {
+		return nil, nil, err
+	}
+	workloads, err := s.workloads()
+	if err != nil {
+		return nil, nil, err
+	}
+	pts, err := s.points()
+	if err != nil {
+		return nil, nil, err
+	}
+	instructions, warmup := s.Params()
+
+	var reqs []smtmlp.Request
+	var fps []string
+	seen := make(map[string]bool)
+	for _, pt := range pts {
+		for _, p := range policies {
+			for _, w := range workloads {
+				req := smtmlp.Request{
+					Tag:      fmt.Sprintf("%s/%s/%s", pt.label, w.Name(), p),
+					Config:   pt.config(len(w.Benchmarks)),
+					Workload: w,
+					Policy:   p,
+				}
+				fp := smtmlp.Fingerprint(req, instructions, warmup)
+				if seen[fp] {
+					continue
+				}
+				seen[fp] = true
+				reqs = append(reqs, req)
+				fps = append(fps, fp)
+			}
+		}
+	}
+	return reqs, fps, nil
+}

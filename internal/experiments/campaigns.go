@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"smtmlp"
+	"smtmlp/internal/bench"
+	"smtmlp/internal/campaign"
+	"smtmlp/internal/metrics"
+	"smtmlp/internal/store"
+)
+
+// PolicySweepSpec expresses the paper's main policy x workload comparison —
+// Figures 9/10 for two threads (Table II), Figures 13/14 for four threads
+// (Table III) — as a declarative campaign spec: the same grid
+// comparePolicies hand-rolls, but persistent, deduplicated and resumable
+// when run through campaign.Run.
+func PolicySweepSpec(threads int, instructions, warmup uint64) (campaign.Spec, error) {
+	var table string
+	switch threads {
+	case 2:
+		table = "two_thread"
+	case 4:
+		table = "four_thread"
+	default:
+		return campaign.Spec{}, fmt.Errorf("experiments: no workload table for %d threads", threads)
+	}
+	var policies []string
+	for _, p := range smtmlp.Policies() {
+		policies = append(policies, p.String())
+	}
+	return campaign.Spec{
+		Name:         fmt.Sprintf("policy-sweep-%dt", threads),
+		Instructions: instructions,
+		Warmup:       warmup,
+		Policies:     policies,
+		Workloads:    campaign.WorkloadSpec{Tables: []string{table}},
+	}, nil
+}
+
+// PolicyComparisonCampaign runs the Figure 9/10 (threads=2) or Figure 13/14
+// (threads=4) comparison through the campaign subsystem: cells already in
+// the store are skipped, new cells are persisted, and an interrupted run
+// resumes on the next invocation. The aggregation matches comparePolicies
+// (harmonic-mean STP, arithmetic-mean ANTT per workload class). A canceled
+// run returns the partial comparison over whatever the store holds, along
+// with the cancellation error.
+func PolicyComparisonCampaign(ctx context.Context, st *store.Store, threads int,
+	instructions, warmup uint64, parallelism int) (PolicyComparison, campaign.Summary, error) {
+	spec, err := PolicySweepSpec(threads, instructions, warmup)
+	if err != nil {
+		return PolicyComparison{}, campaign.Summary{}, err
+	}
+	sum, runErr := campaign.Run(ctx, st, spec, campaign.Options{Parallelism: parallelism})
+
+	pc, err := policyComparisonFromStore(st, spec, threads)
+	if err != nil {
+		return PolicyComparison{}, sum, err
+	}
+	return pc, sum, runErr
+}
+
+// policyComparisonFromStore aggregates the spec's persisted cells into the
+// PolicyComparison shape.
+func policyComparisonFromStore(st *store.Store, spec campaign.Spec, threads int) (PolicyComparison, error) {
+	reqs, fps, err := spec.Requests()
+	if err != nil {
+		return PolicyComparison{}, err
+	}
+	title := "Figures 9 & 10 — STP and ANTT, two-thread workloads (campaign store)"
+	if threads == 4 {
+		title = "Figures 13 & 14 — STP and ANTT, four-thread workloads (campaign store)"
+	}
+	pc := PolicyComparison{
+		Title:    title,
+		Policies: append([]string(nil), spec.Policies...),
+		ByGroup:  make(map[bench.WorkloadClass][]GroupStats),
+	}
+
+	type cell struct{ stps, antts []float64 }
+	cells := make(map[bench.WorkloadClass]map[string]*cell)
+	present := make(map[bench.WorkloadClass]bool)
+	for i, req := range reqs {
+		rec, ok := st.Get(fps[i])
+		if !ok {
+			continue // not yet simulated (interrupted campaign)
+		}
+		class := req.Workload.Class
+		present[class] = true
+		if cells[class] == nil {
+			cells[class] = make(map[string]*cell)
+		}
+		c := cells[class][rec.Result.Policy]
+		if c == nil {
+			c = &cell{}
+			cells[class][rec.Result.Policy] = c
+		}
+		c.stps = append(c.stps, rec.Result.STP)
+		c.antts = append(c.antts, rec.Result.ANTT)
+	}
+	for _, class := range []bench.WorkloadClass{bench.ILPWorkload, bench.MLPWorkload, bench.MixedWorkload} {
+		if !present[class] {
+			continue
+		}
+		pc.Groups = append(pc.Groups, class)
+		for _, name := range pc.Policies {
+			c := cells[class][name]
+			if c == nil {
+				continue
+			}
+			pc.ByGroup[class] = append(pc.ByGroup[class], GroupStats{
+				Policy: name,
+				STP:    metrics.HarmonicMean(c.stps),
+				ANTT:   metrics.ArithmeticMean(c.antts),
+			})
+		}
+	}
+	return pc, nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"smtmlp/internal/bench"
+	"smtmlp/internal/core"
+	"smtmlp/internal/policy"
+	"smtmlp/internal/sim"
+	"smtmlp/internal/store"
+)
+
+// TestPolicyComparisonCampaignMatchesDirect pins the experiments port onto
+// the campaign subsystem: the store-backed Figure 9/10 comparison must
+// aggregate to exactly the numbers the direct batch path computes (the
+// simulator is deterministic and both use the paper's averaging rules), and
+// a second invocation must come entirely from the store.
+func TestPolicyComparisonCampaignMatchesDirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full Table II policy grid twice; skipped in -short")
+	}
+	const instructions, warmup = 4_000, 1_000
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	pc, sum, err := PolicyComparisonCampaign(context.Background(), st, 2, instructions, warmup, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total != 36*6 || sum.Executed != sum.Total || sum.Failed != 0 {
+		t.Fatalf("campaign summary %+v", sum)
+	}
+
+	r := sim.NewRunner(sim.Params{Instructions: instructions, Warmup: warmup})
+	direct := comparePolicies(context.Background(), r, core.DefaultConfig(2),
+		bench.TwoThreadWorkloads(), policy.Paper(), pc.Title)
+	if !reflect.DeepEqual(pc.ByGroup, direct.ByGroup) {
+		t.Fatalf("campaign aggregation diverges from direct path:\ncampaign: %+v\ndirect:   %+v",
+			pc.ByGroup, direct.ByGroup)
+	}
+	if len(pc.Groups) != 3 || len(pc.Policies) != 6 {
+		t.Fatalf("groups=%d policies=%d", len(pc.Groups), len(pc.Policies))
+	}
+
+	// Second invocation: pure store reads, identical aggregation.
+	pc2, sum2, err := PolicyComparisonCampaign(context.Background(), st, 2, instructions, warmup, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2.Executed != 0 || sum2.Skipped != sum.Total {
+		t.Fatalf("re-run summary %+v", sum2)
+	}
+	if !reflect.DeepEqual(pc.ByGroup, pc2.ByGroup) {
+		t.Fatal("store-backed re-aggregation diverged")
+	}
+}
+
+func TestPolicySweepSpecValidation(t *testing.T) {
+	if _, err := PolicySweepSpec(3, 1000, 0); err == nil {
+		t.Fatal("3-thread sweep spec accepted (no table exists)")
+	}
+	spec, err := PolicySweepSpec(4, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, _, err := spec.Requests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 30*6 {
+		t.Fatalf("four-thread sweep has %d cells, want 180", len(reqs))
+	}
+	if reqs[0].Config.Threads != 4 {
+		t.Fatal("four-thread sweep built a non-4-thread config")
+	}
+}

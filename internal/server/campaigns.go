@@ -1,0 +1,226 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"smtmlp"
+	"smtmlp/internal/campaign"
+)
+
+// campaignRun is the server-side state of one asynchronous campaign.
+type campaignRun struct {
+	id   string
+	spec campaign.Spec
+
+	mu       sync.Mutex
+	status   string // "running", "done", "canceled", "failed"
+	progress campaign.Progress
+	summary  campaign.Summary
+	errMsg   string
+	done     chan struct{} // closed when the campaign goroutine finishes
+}
+
+// CampaignStatus is the JSON shape of one campaign in GET responses and the
+// 202 creation response.
+type CampaignStatus struct {
+	ID       string `json:"id"`
+	Name     string `json:"name,omitempty"`
+	Status   string `json:"status"`
+	Total    int    `json:"total"`
+	Skipped  int    `json:"skipped"`
+	Executed int    `json:"executed"`
+	Failed   int    `json:"failed"`
+	Error    string `json:"error,omitempty"`
+	// Summary carries the final counters (including warm-start stats) once
+	// the campaign has finished.
+	Summary *campaign.Summary `json:"summary,omitempty"`
+}
+
+// snapshot renders the run under its lock.
+func (c *campaignRun) snapshot() CampaignStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CampaignStatus{
+		ID:       c.id,
+		Name:     c.spec.Name,
+		Status:   c.status,
+		Total:    c.progress.Total,
+		Skipped:  c.progress.Skipped,
+		Executed: c.progress.Executed,
+		Failed:   c.progress.Failed,
+		Error:    c.errMsg,
+	}
+	if c.status != "running" {
+		sum := c.summary
+		st.Summary = &sum
+	}
+	return st
+}
+
+// requireStore answers 503 (and reports false) when the campaign endpoints
+// are hit on a server running without a result store.
+func (s *Server) requireStore(w http.ResponseWriter) bool {
+	if s.store == nil {
+		writeError(w, http.StatusServiceUnavailable, CodeStoreUnavailable,
+			"this server runs without a result store; start it with -store to enable campaigns")
+		return false
+	}
+	return true
+}
+
+// DrainCampaigns blocks until every campaign goroutine has finished. Call it
+// during shutdown, after canceling the base context and before closing the
+// store: campaigns observe the cancellation, commit what completed, persist
+// their references and exit — so nothing appends to a closed store.
+func (s *Server) DrainCampaigns() {
+	s.mu.Lock()
+	runs := make([]*campaignRun, 0, len(s.order))
+	for _, id := range s.order {
+		runs = append(runs, s.campaigns[id])
+	}
+	s.mu.Unlock()
+	for _, run := range runs {
+		<-run.done
+	}
+}
+
+// handleCampaignCreate validates the spec, registers the campaign and starts
+// it on the server's lifecycle context (campaigns outlive the POST). The
+// expansion is diffed against the store up front so the 202 body already
+// reports how much of the grid is cached.
+func (s *Server) handleCampaignCreate(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
+	var spec campaign.Spec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	reqs, fps, err := spec.Requests()
+	switch {
+	case errors.Is(err, smtmlp.ErrUnknownPolicy):
+		writeError(w, http.StatusBadRequest, CodeUnknownPolicy, "%v", err)
+		return
+	case errors.Is(err, smtmlp.ErrUnknownBenchmark):
+		writeError(w, http.StatusBadRequest, CodeUnknownBenchmark, "%v", err)
+		return
+	case errors.Is(err, smtmlp.ErrWorkloadMismatch):
+		writeError(w, http.StatusBadRequest, CodeInvalidWorkload, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%v", err)
+		return
+	}
+	if len(reqs) > s.maxBatch {
+		writeError(w, http.StatusBadRequest, CodeBatchTooLarge,
+			"campaign of %d simulations exceeds the server limit of %d", len(reqs), s.maxBatch)
+		return
+	}
+	for _, req := range reqs {
+		if len(req.Workload.Benchmarks) > s.maxThreads {
+			writeError(w, http.StatusBadRequest, CodeTooManyThreads,
+				"workload %s has %d benchmarks, server limit is %d",
+				req.Workload.Name(), len(req.Workload.Benchmarks), s.maxThreads)
+			return
+		}
+	}
+	skipped := 0
+	for _, fp := range fps {
+		if s.store.Has(fp) {
+			skipped++
+		}
+	}
+
+	run := &campaignRun{
+		spec:     spec,
+		status:   "running",
+		progress: campaign.Progress{Total: len(reqs), Skipped: skipped},
+		done:     make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.nextID++
+	run.id = fmt.Sprintf("c%d", s.nextID)
+	s.campaigns[run.id] = run
+	s.order = append(s.order, run.id)
+	s.mu.Unlock()
+
+	go s.runCampaign(run)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeLine(w, run.snapshot())
+}
+
+// runCampaign executes one campaign to completion on the server's lifecycle
+// context, sharing the long-lived engine's reference cache so campaigns,
+// /v1/run and /v1/batch all warm each other.
+func (s *Server) runCampaign(run *campaignRun) {
+	defer close(run.done)
+	sum, err := campaign.Run(s.baseCtx, s.store, run.spec, campaign.Options{
+		Cache:       s.eng.Cache(),
+		Parallelism: s.eng.Parallelism(),
+		Progress: func(p campaign.Progress) {
+			run.mu.Lock()
+			run.progress = p
+			run.mu.Unlock()
+		},
+	})
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	run.summary = sum
+	switch {
+	case err == nil:
+		run.status = "done"
+	case errors.Is(err, smtmlp.ErrCanceled) || errors.Is(err, context.Canceled):
+		run.status = "canceled"
+		run.errMsg = err.Error()
+	default:
+		run.status = "failed"
+		run.errMsg = err.Error()
+	}
+}
+
+// CampaignListResponse is the GET /v1/campaigns body.
+type CampaignListResponse struct {
+	Campaigns []CampaignStatus `json:"campaigns"`
+	// StoredResults is the store's total persisted result count (across all
+	// campaigns, including previous processes).
+	StoredResults int `json:"stored_results"`
+}
+
+func (s *Server) handleCampaignList(w http.ResponseWriter, _ *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
+	s.mu.Lock()
+	runs := make([]*campaignRun, 0, len(s.order))
+	for _, id := range s.order {
+		runs = append(runs, s.campaigns[id])
+	}
+	s.mu.Unlock()
+	resp := CampaignListResponse{Campaigns: []CampaignStatus{}, StoredResults: s.store.Len()}
+	for _, run := range runs {
+		resp.Campaigns = append(resp.Campaigns, run.snapshot())
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleCampaignGet(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
+	id := r.PathValue("id")
+	s.mu.Lock()
+	run, ok := s.campaigns[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownCampaign,
+			"no campaign %q (see GET /v1/campaigns)", id)
+		return
+	}
+	writeJSON(w, run.snapshot())
+}

@@ -1,0 +1,164 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"smtmlp/internal/server"
+	"smtmlp/internal/store"
+)
+
+// campaignSpec is a fast 1x2x2 = 4-cell campaign.
+const campaignSpec = `{
+  "name": "srv",
+  "instructions": 5000,
+  "warmup": 1000,
+  "policies": ["icount", "mlpflush"],
+  "workloads": {"mixes": [["mcf","galgel"], ["swim","twolf"]]}
+}`
+
+// campaignServer builds a store-backed server over a tmpdir store.
+func campaignServer(t *testing.T, opts ...server.Option) (*server.Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return server.New(testEngine(), append([]server.Option{server.WithStore(st)}, opts...)...), st
+}
+
+// awaitCampaign polls GET /v1/campaigns/{id} until the campaign leaves
+// "running".
+func awaitCampaign(t *testing.T, srv http.Handler, id string) server.CampaignStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var status server.CampaignStatus
+		decodeInto(t, get(t, srv, "/v1/campaigns/"+id), &status)
+		if status.Status != "running" {
+			return status
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s still running after 30s: %+v", id, status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestCampaignLifecycle(t *testing.T) {
+	srv, st := campaignServer(t)
+
+	rec := post(t, srv, "/v1/campaigns", campaignSpec)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("create status %d, body %s", rec.Code, rec.Body)
+	}
+	var created server.CampaignStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil {
+		t.Fatalf("202 body %s: %v", rec.Body, err)
+	}
+	if created.ID == "" || created.Status != "running" || created.Total != 4 || created.Skipped != 0 {
+		t.Fatalf("created %+v", created)
+	}
+
+	final := awaitCampaign(t, srv, created.ID)
+	if final.Status != "done" || final.Executed != 4 || final.Failed != 0 {
+		t.Fatalf("final %+v", final)
+	}
+	if final.Summary == nil || final.Summary.Executed != 4 || final.Summary.RefsSaved == 0 {
+		t.Fatalf("final summary %+v", final.Summary)
+	}
+	if st.Len() != 4 {
+		t.Fatalf("store holds %d results, want 4", st.Len())
+	}
+
+	// Re-POSTing the same spec skips everything: the store deduplicates
+	// across campaigns (and across restarts).
+	rec = post(t, srv, "/v1/campaigns", campaignSpec)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("re-create status %d", rec.Code)
+	}
+	var again server.CampaignStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.ID == created.ID || again.Skipped != 4 {
+		t.Fatalf("re-created %+v", again)
+	}
+	final2 := awaitCampaign(t, srv, again.ID)
+	if final2.Status != "done" || final2.Executed != 0 || final2.Summary.Skipped != 4 {
+		t.Fatalf("re-run final %+v", final2)
+	}
+	if st.Len() != 4 {
+		t.Fatalf("store grew to %d results on a duplicate campaign", st.Len())
+	}
+
+	// The list endpoint shows both campaigns in creation order.
+	var list server.CampaignListResponse
+	decodeInto(t, get(t, srv, "/v1/campaigns"), &list)
+	if len(list.Campaigns) != 2 || list.Campaigns[0].ID != created.ID || list.Campaigns[1].ID != again.ID {
+		t.Fatalf("list %+v", list)
+	}
+	if list.StoredResults != 4 {
+		t.Fatalf("list reports %d stored results", list.StoredResults)
+	}
+}
+
+func TestCampaignValidationErrors(t *testing.T) {
+	srv, _ := campaignServer(t, server.WithMaxBatch(8), server.WithMaxThreads(2))
+	cases := []struct {
+		name, body, code string
+		status           int
+	}{
+		{"malformed", `{`, server.CodeInvalidRequest, http.StatusBadRequest},
+		{"unknown field", `{"bogus": 1}`, server.CodeInvalidRequest, http.StatusBadRequest},
+		{"no workloads", `{"policies":["icount"]}`, server.CodeInvalidRequest, http.StatusBadRequest},
+		{"unknown policy", `{"policies":["nope"],"workloads":{"mixes":[["mcf","swim"]]}}`,
+			server.CodeUnknownPolicy, http.StatusBadRequest},
+		{"unknown benchmark", `{"workloads":{"mixes":[["mcf","nope"]]}}`,
+			server.CodeUnknownBenchmark, http.StatusBadRequest},
+		{"workload/threads mismatch", `{"workloads":{"threads":4,"mixes":[["mcf","swim"]]}}`,
+			server.CodeInvalidWorkload, http.StatusBadRequest},
+		{"too large", `{"workloads":{"tables":["two_thread"]}}`,
+			server.CodeBatchTooLarge, http.StatusBadRequest},
+		{"too many threads", `{"policies":["icount"],"workloads":{"mixes":[["mcf","swim","gcc"]]}}`,
+			server.CodeTooManyThreads, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantError(t, post(t, srv, "/v1/campaigns", tc.body), tc.status, tc.code)
+		})
+	}
+}
+
+func TestCampaignEndpointsWithoutStore(t *testing.T) {
+	srv := server.New(testEngine())
+	wantError(t, post(t, srv, "/v1/campaigns", campaignSpec), http.StatusServiceUnavailable, server.CodeStoreUnavailable)
+	wantError(t, get(t, srv, "/v1/campaigns"), http.StatusServiceUnavailable, server.CodeStoreUnavailable)
+	wantError(t, get(t, srv, "/v1/campaigns/c1"), http.StatusServiceUnavailable, server.CodeStoreUnavailable)
+}
+
+func TestCampaignUnknownID(t *testing.T) {
+	srv, _ := campaignServer(t)
+	wantError(t, get(t, srv, "/v1/campaigns/c999"), http.StatusNotFound, server.CodeUnknownCampaign)
+}
+
+// TestRunWorkloadMismatchError pins the server-side invalid_workload body
+// for the new engine-boundary thread-count validation: an explicit threads
+// override that disagrees with the benchmark count is a 400, not a
+// confusing simulation failure.
+func TestRunWorkloadMismatchError(t *testing.T) {
+	srv := server.New(testEngine())
+	rec := post(t, srv, "/v1/run",
+		`{"benchmarks":["mcf","galgel"],"policy":"icount","config":{"threads":4}}`)
+	wantError(t, rec, http.StatusBadRequest, server.CodeInvalidWorkload)
+
+	// A matching explicit threads override still works.
+	rec = post(t, srv, "/v1/run",
+		`{"benchmarks":["mcf","galgel"],"policy":"icount","config":{"threads":2}}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("matching threads override rejected: %d %s", rec.Code, rec.Body)
+	}
+}

@@ -15,10 +15,15 @@
 //	POST /v1/batch     — a policy x workload cross-product, streamed back as
 //	                     NDJSON (one smtmlp.BatchResult per line) in
 //	                     submission order as results complete
+//	POST /v1/campaigns — start an asynchronous, persistent campaign (an
+//	                     internal/campaign.Spec) against the server's result
+//	                     store; answers 202 with the campaign id
+//	GET  /v1/campaigns — list campaigns; /v1/campaigns/{id} polls one
 //
 // Errors are JSON bodies {"error":{"code":...,"message":...}} with stable
 // codes (unknown_benchmark, unknown_policy, invalid_request,
-// batch_too_large, too_many_threads).
+// invalid_workload, batch_too_large, too_many_threads, unknown_campaign,
+// store_unavailable).
 package server
 
 import (
@@ -28,9 +33,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"sync/atomic"
 
 	"smtmlp"
+	"smtmlp/internal/store"
 )
 
 // Defaults for the request-validation bounds.
@@ -47,10 +54,13 @@ const (
 // Error codes returned in the typed error body.
 const (
 	CodeInvalidRequest   = "invalid_request"
+	CodeInvalidWorkload  = "invalid_workload"
 	CodeUnknownBenchmark = "unknown_benchmark"
 	CodeUnknownPolicy    = "unknown_policy"
+	CodeUnknownCampaign  = "unknown_campaign"
 	CodeBatchTooLarge    = "batch_too_large"
 	CodeTooManyThreads   = "too_many_threads"
+	CodeStoreUnavailable = "store_unavailable"
 	CodeCanceled         = "canceled"
 	CodeInternal         = "internal"
 )
@@ -62,6 +72,14 @@ type Server struct {
 	maxBatch   int
 	maxThreads int
 	mux        *http.ServeMux
+
+	// Campaign state (nil store disables the campaign endpoints).
+	store     *store.Store
+	baseCtx   context.Context
+	mu        sync.Mutex
+	campaigns map[string]*campaignRun
+	order     []string // campaign ids in creation order
+	nextID    int
 
 	// Server-level counters for /metrics.
 	requestsTotal  atomic.Int64
@@ -93,6 +111,25 @@ func WithMaxThreads(n int) Option {
 	}
 }
 
+// WithStore backs the campaign endpoints (POST/GET /v1/campaigns) with a
+// persistent result store. Without a store those endpoints answer 503.
+func WithStore(st *store.Store) Option {
+	return func(s *Server) { s.store = st }
+}
+
+// WithBaseContext sets the lifecycle context for asynchronous campaign
+// execution (campaigns outlive the POST request that started them).
+// Canceling it — e.g. on SIGTERM — cleanly interrupts running campaigns;
+// everything committed so far stays in the store and a later identical POST
+// resumes the gaps. The default is context.Background().
+func WithBaseContext(ctx context.Context) Option {
+	return func(s *Server) {
+		if ctx != nil {
+			s.baseCtx = ctx
+		}
+	}
+}
+
 // New builds a Server over eng. The engine is owned by the caller and may be
 // shared (e.g. with a second server or background sweeps); its reference
 // cache warms across all of them.
@@ -101,6 +138,8 @@ func New(eng *smtmlp.Engine, opts ...Option) *Server {
 		eng:        eng,
 		maxBatch:   DefaultMaxBatch,
 		maxThreads: DefaultMaxThreads,
+		baseCtx:    context.Background(),
+		campaigns:  make(map[string]*campaignRun),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -112,6 +151,9 @@ func New(eng *smtmlp.Engine, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaignCreate)
+	s.mux.HandleFunc("GET /v1/campaigns", s.handleCampaignList)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignGet)
 	return s
 }
 
@@ -234,6 +276,11 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 // overrides applied to the Table IV default for the workload's thread count.
 // The zero spec is the paper's baseline.
 type ConfigSpec struct {
+	// Threads overrides the hardware thread count; omitted (0) sizes the
+	// machine to the workload. A value that disagrees with the workload's
+	// benchmark count is rejected at the engine boundary with an
+	// invalid_workload error (every thread runs exactly one benchmark).
+	Threads int `json:"threads,omitempty"`
 	// ROBSize rescales the out-of-order window (Figure 17/18 style): LSQ,
 	// issue queues and rename registers scale proportionally.
 	ROBSize int `json:"rob_size,omitempty"`
@@ -247,6 +294,9 @@ type ConfigSpec struct {
 
 // config materializes the spec for a workload of the given thread count.
 func (c *ConfigSpec) config(threads int) smtmlp.Config {
+	if c != nil && c.Threads > 0 {
+		threads = c.Threads
+	}
 	cfg := smtmlp.DefaultConfig(threads)
 	if c == nil {
 		return cfg
@@ -267,6 +317,9 @@ func (c *ConfigSpec) config(threads int) smtmlp.Config {
 func (c *ConfigSpec) validate() error {
 	if c == nil {
 		return nil
+	}
+	if c.Threads < 0 || c.Threads > 8 {
+		return fmt.Errorf("threads %d outside [0, 8]", c.Threads)
 	}
 	if c.ROBSize < 0 || (c.ROBSize > 0 && c.ROBSize < 16) || c.ROBSize > 4096 {
 		return fmt.Errorf("rob_size %d outside [16, 4096]", c.ROBSize)
@@ -347,6 +400,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	res, err := s.eng.RunWorkload(r.Context(), req.Config.config(len(req.Benchmarks)),
 		smtmlp.Mix(req.Benchmarks...), p)
 	switch {
+	case errors.Is(err, smtmlp.ErrWorkloadMismatch):
+		writeError(w, http.StatusBadRequest, CodeInvalidWorkload, "%v", err)
+		return
 	case errors.Is(err, smtmlp.ErrCanceled):
 		// The request context was canceled: either the client went away (the
 		// write below goes nowhere) or the server is draining for shutdown

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 
 	"smtmlp/internal/core"
@@ -15,19 +16,27 @@ import (
 // benchmarks x a handful of configuration points) without eviction.
 const DefaultCacheSize = 256
 
-// RefKey builds the reference-cache key for one single-threaded reference
-// run: the benchmark name, the measurement budget, and an FNV-64a hash of
-// the full processor configuration. Unlike the historical per-Runner cache
-// (which enumerated the handful of fields it believed mattered), the hash
-// covers every Config field — including the whole memory hierarchy and
-// branch predictor — so any config change yields a distinct key, up to the
-// negligible (~2^-64 per config pair) chance of a hash collision.
-func RefKey(cfg core.Config, benchmark string, instructions, warmup uint64) string {
+// ConfigHash is the FNV-64a hash of the full processor configuration. It is
+// the configuration component of both the reference-cache key and the result
+// store's request fingerprint: the hash covers every Config field — including
+// the whole memory hierarchy and branch predictor — so any config change
+// yields a distinct hash, up to the negligible (~2^-64 per config pair)
+// chance of a collision.
+func ConfigHash(cfg core.Config) uint64 {
 	h := fnv.New64a()
 	// Config is a tree of plain value structs (no pointers, maps or
 	// slices), so %+v is a deterministic full-value serialization.
 	fmt.Fprintf(h, "%+v", cfg)
-	return fmt.Sprintf("%s|i=%d|w=%d|cfg=%016x", benchmark, instructions, warmup, h.Sum64())
+	return h.Sum64()
+}
+
+// RefKey builds the reference-cache key for one single-threaded reference
+// run: the benchmark name, the measurement budget, and the ConfigHash of the
+// full processor configuration. Unlike the historical per-Runner cache
+// (which enumerated the handful of fields it believed mattered), the hash
+// covers every Config field, so any config change yields a distinct key.
+func RefKey(cfg core.Config, benchmark string, instructions, warmup uint64) string {
+	return fmt.Sprintf("%s|i=%d|w=%d|cfg=%016x", benchmark, instructions, warmup, ConfigHash(cfg))
 }
 
 // RefCache is a concurrency-safe, size-bounded (LRU) cache of single-threaded
@@ -81,6 +90,59 @@ func (c *RefCache) Stats() (hits, misses, evictions uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.evictions
+}
+
+// RefRecord is the serializable form of one resident reference profile,
+// used to persist single-threaded references (the result store's warm-start
+// path) and seed them back into a fresh cache after a restart.
+type RefRecord struct {
+	Key     string    `json:"key"`
+	Profile STProfile `json:"profile"`
+}
+
+// Export snapshots every resident profile, sorted by key so the export is
+// deterministic regardless of insertion or LRU order. In-flight computations
+// are not included.
+func (c *RefCache) Export() []RefRecord {
+	c.mu.Lock()
+	out := make([]RefRecord, 0, c.lru.Len())
+	for key, e := range c.entries {
+		if e.elem == nil || e.prof == nil {
+			continue // still computing, or failed
+		}
+		out = append(out, RefRecord{Key: key, Profile: *e.prof})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Seed inserts records as resident profiles, skipping keys already present
+// (resident or in flight). Seeded entries obey the LRU bound: seeding more
+// records than the cache holds evicts the earliest-seeded ones. It returns
+// the number of records inserted.
+func (c *RefCache) Seed(recs []RefRecord) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inserted := 0
+	for _, rec := range recs {
+		if _, ok := c.entries[rec.Key]; ok {
+			continue
+		}
+		prof := rec.Profile
+		e := &refEntry{ready: make(chan struct{}), prof: &prof}
+		close(e.ready)
+		e.elem = c.lru.PushFront(rec.Key)
+		c.entries[rec.Key] = e
+		inserted++
+		for c.lru.Len() > c.max {
+			back := c.lru.Back()
+			c.lru.Remove(back)
+			delete(c.entries, back.Value.(string))
+			c.evictions++
+		}
+	}
+	return inserted
 }
 
 // getOrCompute returns the cached profile for key, computing it with compute

@@ -151,3 +151,84 @@ func TestRefKeyCoversFullConfig(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%q", key)
 }
+
+func TestRefCacheExportSeed(t *testing.T) {
+	c := NewRefCache(8)
+	ctx := context.Background()
+	for _, key := range []string{"zz", "aa", "mm"} {
+		key := key
+		if _, err := c.getOrCompute(ctx, key, func(context.Context) (*STProfile, error) {
+			return fakeProfile(key), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	recs := c.Export()
+	if len(recs) != 3 {
+		t.Fatalf("exported %d records, want 3", len(recs))
+	}
+	for i, want := range []string{"aa", "mm", "zz"} {
+		if recs[i].Key != want {
+			t.Fatalf("export[%d].Key = %q, want %q (sorted)", i, recs[i].Key, want)
+		}
+		if recs[i].Profile.Benchmark != want {
+			t.Fatalf("export[%d] carries profile %q", i, recs[i].Profile.Benchmark)
+		}
+	}
+
+	// Seed a fresh cache: entries are resident (hits, not recomputation).
+	fresh := NewRefCache(8)
+	if n := fresh.Seed(recs); n != 3 {
+		t.Fatalf("seeded %d, want 3", n)
+	}
+	if fresh.Len() != 3 {
+		t.Fatalf("seeded cache Len %d", fresh.Len())
+	}
+	prof, err := fresh.getOrCompute(ctx, "mm", func(context.Context) (*STProfile, error) {
+		t.Fatal("seeded entry recomputed")
+		return nil, nil
+	})
+	if err != nil || prof.Benchmark != "mm" {
+		t.Fatalf("seeded lookup: %v %v", prof, err)
+	}
+	hits, misses, _ := fresh.Stats()
+	if hits != 1 || misses != 0 {
+		t.Fatalf("stats hits=%d misses=%d after seeded lookup", hits, misses)
+	}
+
+	// Seeding existing keys is a no-op; the resident profile wins.
+	if n := fresh.Seed([]RefRecord{{Key: "mm", Profile: *fakeProfile("imposter")}}); n != 0 {
+		t.Fatalf("re-seed inserted %d", n)
+	}
+
+	// Seeding respects the LRU bound.
+	tiny := NewRefCache(2)
+	if n := tiny.Seed(recs); n != 3 {
+		t.Fatalf("bounded seed inserted %d, want 3 (with evictions)", n)
+	}
+	if tiny.Len() != 2 {
+		t.Fatalf("bounded cache Len %d, want 2", tiny.Len())
+	}
+	if _, _, evictions := tiny.Stats(); evictions != 1 {
+		t.Fatalf("bounded seed evicted %d, want 1", evictions)
+	}
+}
+
+func TestConfigHashCoversEveryField(t *testing.T) {
+	base := core.DefaultConfig(2)
+	h := ConfigHash(base)
+	if h != ConfigHash(base) {
+		t.Fatal("ConfigHash not deterministic")
+	}
+	mut := base
+	mut.Mem.L2.SizeBytes *= 2
+	if ConfigHash(mut) == h {
+		t.Fatal("deep memory-hierarchy change did not change the hash")
+	}
+	mut = base
+	mut.Bpred.HistoryBits++
+	if ConfigHash(mut) == h {
+		t.Fatal("branch predictor change did not change the hash")
+	}
+}

@@ -1,0 +1,255 @@
+package store
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smtmlp"
+)
+
+// rec builds a small synthetic record (no simulation needed).
+func rec(tag, benchmark, policyName string, stp float64) Record {
+	p, err := smtmlp.ParsePolicy(policyName)
+	if err != nil {
+		panic(err)
+	}
+	req := smtmlp.Request{
+		Tag:      tag,
+		Config:   smtmlp.DefaultConfig(2),
+		Workload: smtmlp.Mix(benchmark, "twolf"),
+		Policy:   p,
+	}
+	return Record{
+		Fingerprint: smtmlp.Fingerprint(req, 10_000, 2_500),
+		Request:     req,
+		Result:      smtmlp.WorkloadResult{Policy: policyName, STP: stp, ANTT: 1.5},
+	}
+}
+
+func TestStoreAppendDedupeReload(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := rec("a", "mcf", "icount", 1.1)
+	r2 := rec("b", "swim", "mlpflush", 1.2)
+	for _, r := range []Record{r1, r2} {
+		added, err := st.Append(r)
+		if err != nil || !added {
+			t.Fatalf("append: added=%v err=%v", added, err)
+		}
+	}
+	// Duplicate fingerprints are silently skipped.
+	if added, err := st.Append(r1); err != nil || added {
+		t.Fatalf("dup append: added=%v err=%v", added, err)
+	}
+	if st.Len() != 2 || !st.Has(r1.Fingerprint) {
+		t.Fatalf("store has %d records", st.Len())
+	}
+	if got, ok := st.Get(r2.Fingerprint); !ok || got.Result.STP != 1.2 {
+		t.Fatalf("get: %+v ok=%v", got, ok)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: index and order survive.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recs := st2.Records()
+	if len(recs) != 2 || recs[0].Fingerprint != r1.Fingerprint || recs[1].Fingerprint != r2.Fingerprint {
+		t.Fatalf("reloaded records wrong: %d", len(recs))
+	}
+	// Appends after reload land after the existing log.
+	r3 := rec("c", "galgel", "flush", 1.3)
+	if added, err := st2.Append(r3); err != nil || !added {
+		t.Fatalf("append after reload: %v %v", added, err)
+	}
+	if got := st2.Records(); len(got) != 3 || got[2].Fingerprint != r3.Fingerprint {
+		t.Fatal("post-reload append out of order")
+	}
+}
+
+func TestStoreTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := rec("a", "mcf", "icount", 1.1)
+	if _, err := st.Append(r1); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Simulate a crash mid-append: a partial record with no newline.
+	path := filepath.Join(dir, "results.ndjson")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"fp":"torn","request":{"conf`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	if st2.Len() != 1 {
+		t.Fatalf("recovered %d records, want 1", st2.Len())
+	}
+	// The torn bytes are gone and new appends produce a well-formed log.
+	r2 := rec("b", "swim", "flush", 1.2)
+	if _, err := st2.Append(r2); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "torn") {
+		t.Fatal("torn tail still present after recovery")
+	}
+	st3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if st3.Len() != 2 {
+		t.Fatalf("after recovery+append: %d records, want 2", st3.Len())
+	}
+}
+
+func TestStoreMidFileCorruptionIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Append(rec("a", "mcf", "icount", 1.1))
+	st.Append(rec("b", "swim", "flush", 1.2))
+	st.Close()
+
+	path := filepath.Join(dir, "results.ndjson")
+	data, _ := os.ReadFile(path)
+	lines := strings.SplitAfter(string(data), "\n")
+	corrupted := "GARBAGE\n" + lines[1]
+	if err := os.WriteFile(path, []byte(lines[0]+corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("mid-file corruption silently accepted")
+	}
+}
+
+func TestStoreQuery(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.Append(rec("a", "mcf", "icount", 1.1))
+	st.Append(rec("b", "mcf", "mlpflush", 1.2))
+	st.Append(rec("c", "swim", "mlpflush", 1.3))
+
+	if got := st.Select(Query{Policy: "mlpflush"}); len(got) != 2 {
+		t.Fatalf("policy query: %d, want 2", len(got))
+	}
+	if got := st.Select(Query{Workload: "mcf-twolf"}); len(got) != 2 {
+		t.Fatalf("workload query: %d, want 2", len(got))
+	}
+	if got := st.Select(Query{Benchmark: "swim"}); len(got) != 1 {
+		t.Fatalf("benchmark query: %d, want 1", len(got))
+	}
+	if got := st.Select(Query{Threads: 2}); len(got) != 3 {
+		t.Fatalf("threads query: %d, want 3", len(got))
+	}
+	if got := st.Select(Query{Policy: "mlpflush", Benchmark: "mcf"}); len(got) != 1 {
+		t.Fatalf("combined query: %d, want 1", len(got))
+	}
+	hash := smtmlp.ConfigHash(smtmlp.DefaultConfig(2))
+	if got := st.Select(Query{ConfigHash: hash}); len(got) != 3 {
+		t.Fatalf("config query: %d, want 3", len(got))
+	}
+	if got := st.Select(Query{ConfigHash: hash + 1}); len(got) != 0 {
+		t.Fatalf("mismatched config query: %d, want 0", len(got))
+	}
+}
+
+// TestStoreRefsRoundTrip persists real reference profiles and seeds them
+// into a fresh cache: the restarted engine must not re-simulate anything.
+func TestStoreRefsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := smtmlp.NewCache(0)
+	eng := smtmlp.NewEngine(smtmlp.WithInstructions(8_000), smtmlp.WithWarmup(2_000), smtmlp.WithCache(cache))
+	if _, err := eng.RunWorkload(context.Background(), smtmlp.DefaultConfig(2), smtmlp.Mix("mcf", "galgel"), smtmlp.MLPFlush); err != nil {
+		t.Fatal(err)
+	}
+	added, err := st.MergeRefs(cache.Export())
+	if err != nil || added != 2 {
+		t.Fatalf("MergeRefs: added=%d err=%v", added, err)
+	}
+	// Merging the same profiles again is a no-op (and must not rewrite).
+	if added, err := st.MergeRefs(cache.Export()); err != nil || added != 0 {
+		t.Fatalf("re-merge: added=%d err=%v", added, err)
+	}
+	st.Close()
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	refs := st2.Refs()
+	if len(refs) != 2 {
+		t.Fatalf("reloaded %d refs, want 2", len(refs))
+	}
+	for i := 1; i < len(refs); i++ {
+		if refs[i-1].Key >= refs[i].Key {
+			t.Fatal("reloaded refs not sorted")
+		}
+	}
+	fresh := smtmlp.NewCache(0)
+	if n := fresh.Seed(refs); n != 2 {
+		t.Fatalf("seeded %d, want 2", n)
+	}
+	eng2 := smtmlp.NewEngine(smtmlp.WithInstructions(8_000), smtmlp.WithWarmup(2_000), smtmlp.WithCache(fresh))
+	if _, err := eng2.RunWorkload(context.Background(), smtmlp.DefaultConfig(2), smtmlp.Mix("mcf", "galgel"), smtmlp.MLPFlush); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses, _ := fresh.Stats(); misses != 0 {
+		t.Fatalf("warm-started engine re-simulated %d references", misses)
+	}
+}
+
+// TestStoreRefsCorruptionIgnored: a damaged refs snapshot costs
+// re-simulation, never an open failure.
+func TestStoreRefsCorruptionIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "refs.ndjson"), []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open with corrupt refs: %v", err)
+	}
+	defer st.Close()
+	if len(st.Refs()) != 0 {
+		t.Fatal("corrupt refs produced records")
+	}
+}

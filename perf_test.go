@@ -1,0 +1,104 @@
+// Machine-readable performance snapshot: TestPerfSnapshot runs a fixed set
+// of representative workloads and writes per-workload wall time and
+// simulator throughput to the path given by -perf-out (CI writes BENCH_5.json
+// and uploads it as an artifact, so the perf trajectory accumulates across
+// PRs). Without -perf-out the test skips; it never asserts on timing, so it
+// cannot flake on a loaded machine.
+package smtmlp_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+	"time"
+
+	"smtmlp"
+)
+
+var perfOut = flag.String("perf-out", "", "write the perf snapshot JSON (e.g. BENCH_5.json) to this path")
+
+// perfEntry is one measured workload.
+type perfEntry struct {
+	Workload     string  `json:"workload"`
+	Policy       string  `json:"policy"`
+	Threads      int     `json:"threads"`
+	Seconds      float64 `json:"seconds"`
+	Cycles       int64   `json:"cycles"`
+	Instructions uint64  `json:"instructions"`
+	// Simulator throughput: simulated cycles (resp. committed instructions)
+	// per wall-clock second.
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	InstrPerSec  float64 `json:"instr_per_sec"`
+}
+
+// perfSnapshot is the BENCH_5.json schema.
+type perfSnapshot struct {
+	Schema       string      `json:"schema"`
+	Budget       uint64      `json:"budget"`
+	Warmup       uint64      `json:"warmup"`
+	Workloads    []perfEntry `json:"workloads"`
+	TotalSeconds float64     `json:"total_seconds"`
+}
+
+func TestPerfSnapshot(t *testing.T) {
+	if *perfOut == "" {
+		t.Skip("no -perf-out path; perf snapshot not requested")
+	}
+	const budget, warmup = 30_000, 10_000
+	eng := smtmlp.NewEngine(
+		smtmlp.WithInstructions(budget),
+		smtmlp.WithWarmup(warmup),
+		smtmlp.WithParallelism(1), // serial: per-workload wall time is meaningful
+	)
+	cases := []struct {
+		benchmarks []string
+		policy     smtmlp.Policy
+	}{
+		{[]string{"mcf", "galgel"}, smtmlp.MLPFlush},                   // MLP-intensive pair, headline policy
+		{[]string{"swim", "twolf"}, smtmlp.ICount},                     // mixed pair, baseline policy
+		{[]string{"vortex", "parser"}, smtmlp.Flush},                   // ILP pair, flush machinery
+		{[]string{"applu", "galgel", "swim", "mesa"}, smtmlp.MLPFlush}, // 4-thread all-MLP
+	}
+	snap := perfSnapshot{Schema: "smtmlp/perf/v1", Budget: budget, Warmup: warmup}
+	ctx := t.Context()
+	for _, c := range cases {
+		w := smtmlp.Mix(c.benchmarks...)
+		cfg := smtmlp.DefaultConfig(len(c.benchmarks))
+		start := time.Now()
+		res, err := eng.RunWorkload(ctx, cfg, w, c.policy)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", w.Name(), c.policy, err)
+		}
+		secs := time.Since(start).Seconds()
+		var committed uint64
+		for _, th := range res.Threads {
+			committed += th.Committed
+		}
+		entry := perfEntry{
+			Workload:     w.Name(),
+			Policy:       c.policy.String(),
+			Threads:      len(c.benchmarks),
+			Seconds:      secs,
+			Cycles:       res.Cycles,
+			Instructions: committed,
+		}
+		if secs > 0 {
+			entry.CyclesPerSec = float64(res.Cycles) / secs
+			entry.InstrPerSec = float64(committed) / secs
+		}
+		snap.Workloads = append(snap.Workloads, entry)
+		snap.TotalSeconds += secs
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*perfOut, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("perf snapshot (%d workloads, %.2fs total) written to %s",
+		len(snap.Workloads), snap.TotalSeconds, *perfOut)
+}

@@ -29,6 +29,13 @@
 // one long-lived Engine over REST and streams batches back as NDJSON. The
 // serialization is pinned by a golden-file test; see DESIGN.md.
 //
+// Fingerprint content-addresses a Request under a measurement budget; it is
+// the key of the persistent result store behind the campaign subsystem
+// (cmd/smtsweep, POST /v1/campaigns), which expands declarative sweep specs,
+// skips cells whose fingerprints are already stored, and resumes interrupted
+// sweeps. Cache.Export and Cache.Seed are the matching warm-start path for
+// the single-threaded reference profiles.
+//
 // Lower-level building blocks (the pipeline, the memory hierarchy, the LLSR
 // and predictors, the trace generators) live in the internal packages and
 // are documented in DESIGN.md; cmd/repro regenerates the paper's evaluation
@@ -40,6 +47,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 
 	"smtmlp/internal/bench"
 	"smtmlp/internal/core"
@@ -132,6 +140,10 @@ var (
 	// ErrUnknownPolicy reports a policy name outside the implemented set
 	// (see AllPolicies).
 	ErrUnknownPolicy = errors.New("smtmlp: unknown policy")
+	// ErrWorkloadMismatch reports a workload whose benchmark count differs
+	// from the configuration's hardware thread count (every thread runs
+	// exactly one benchmark, so the two must agree).
+	ErrWorkloadMismatch = errors.New("smtmlp: workload/config thread count mismatch")
 	// ErrCanceled reports a run abandoned because its context was canceled
 	// or its deadline expired.
 	ErrCanceled = errors.New("smtmlp: run canceled")
@@ -172,6 +184,22 @@ func checkBenchmarks(names []string) error {
 	return nil
 }
 
+// checkWorkload validates a workload against a configuration: every
+// benchmark must exist and the benchmark count must equal the configured
+// hardware thread count. Without the second check a mismatch used to surface
+// as a confusing deep-simulation failure (the pipeline silently resizes to
+// the model count, desynchronizing the config the caller thinks it ran).
+func checkWorkload(cfg Config, names []string) error {
+	if err := checkBenchmarks(names); err != nil {
+		return err
+	}
+	if cfg.Threads != len(names) {
+		return fmt.Errorf("%w: workload has %d benchmarks but config has threads=%d",
+			ErrWorkloadMismatch, len(names), cfg.Threads)
+	}
+	return nil
+}
+
 // Cache holds single-threaded reference profiles keyed by benchmark,
 // measurement budget and a full configuration hash. It is safe for
 // concurrent use and size-bounded (LRU). Pass one Cache to several engines
@@ -185,6 +213,22 @@ func NewCache(maxEntries int) *Cache { return &Cache{refs: sim.NewRefCache(maxEn
 
 // Len reports the number of resident reference profiles.
 func (c *Cache) Len() int { return c.refs.Len() }
+
+// RefProfile is one persisted single-threaded reference profile: the cache
+// key (benchmark, budget, full-config hash) together with the CPI checkpoint
+// profile behind it. It is the unit of the cache's Export/Seed warm-start
+// path: a result store persists RefProfiles so a restarted service skips
+// reference re-simulation.
+type RefProfile = sim.RefRecord
+
+// Export snapshots the cache's resident reference profiles, sorted by key
+// (deterministic regardless of insertion or LRU order).
+func (c *Cache) Export() []RefProfile { return c.refs.Export() }
+
+// Seed inserts profiles (from a previous Export, typically persisted in a
+// result store) as resident entries, skipping keys already present, and
+// returns the number inserted. Seeding respects the cache's LRU bound.
+func (c *Cache) Seed(profiles []RefProfile) int { return c.refs.Seed(profiles) }
 
 // Stats reports cache lookup hits, misses (reference simulations run) and
 // LRU evictions.
@@ -314,26 +358,6 @@ func (e *Engine) Metrics() EngineMetrics {
 	return m
 }
 
-// RunOptions controls simulation length for the deprecated free functions.
-// The zero value selects laptop-scale defaults (300K instructions per
-// thread, one quarter of that as warm-up).
-//
-// Deprecated: configure an Engine with WithInstructions / WithWarmup
-// instead.
-type RunOptions struct {
-	// Instructions is the per-thread budget; the run stops when the first
-	// thread commits this many (the paper's stopping rule).
-	Instructions uint64
-	// Warmup instructions execute before statistics reset; 0 means
-	// Instructions/4.
-	Warmup uint64
-}
-
-// options converts legacy RunOptions into engine options.
-func (o RunOptions) options() []Option {
-	return []Option{WithInstructions(o.Instructions), WithWarmup(o.Warmup)}
-}
-
 // SingleResult reports a single-threaded run. The JSON tags are the wire
 // format served over HTTP (cmd/smtserved); renaming a tag is a breaking API
 // change and is pinned by the wire-schema golden test.
@@ -368,9 +392,10 @@ type WorkloadResult struct {
 	ANTT    float64        `json:"antt"` // average normalized turnaround time; lower is better
 }
 
-// RunSingle simulates one benchmark alone on cfg.
+// RunSingle simulates one benchmark alone on cfg (which must be a
+// single-threaded configuration: cfg.Threads == 1).
 func (e *Engine) RunSingle(ctx context.Context, cfg Config, benchmark string) (SingleResult, error) {
-	if err := checkBenchmarks([]string{benchmark}); err != nil {
+	if err := checkWorkload(cfg, []string{benchmark}); err != nil {
 		return SingleResult{}, err
 	}
 	res, err := e.runner.RunSingleCtx(ctx, cfg, benchmark)
@@ -392,7 +417,7 @@ func (e *Engine) RunSingle(ctx context.Context, cfg Config, benchmark string) (S
 // matched instruction counts (the paper's methodology). References come
 // from the engine's Cache.
 func (e *Engine) RunWorkload(ctx context.Context, cfg Config, w Workload, p Policy) (WorkloadResult, error) {
-	if err := checkBenchmarks(w.Benchmarks); err != nil {
+	if err := checkWorkload(cfg, w.Benchmarks); err != nil {
 		return WorkloadResult{}, err
 	}
 	res, err := e.runner.RunWorkloadCtx(ctx, cfg, w, p, nil)
@@ -522,7 +547,7 @@ func (e *Engine) RunBatch(ctx context.Context, reqs []Request) <-chan BatchResul
 	simIdx := make([]int, 0, len(reqs))
 	invalid := 0
 	for i, req := range reqs {
-		if err := checkBenchmarks(req.Workload.Benchmarks); err != nil {
+		if err := checkWorkload(req.Config, req.Workload.Benchmarks); err != nil {
 			out <- BatchResult{Index: i, Request: req, Err: err}
 			invalid++
 			continue
@@ -563,22 +588,38 @@ func (e *Engine) RunBatch(ctx context.Context, reqs []Request) <-chan BatchResul
 	return out
 }
 
-// RunSingle simulates one benchmark alone on cfg.
+// ConfigHash returns the FNV-64a hash of the full processor configuration —
+// every field, including the memory hierarchy and branch predictor — so any
+// configuration change yields a distinct hash (up to the negligible ~2^-64
+// collision chance). It is the configuration component of Fingerprint and of
+// the reference-cache key.
+func ConfigHash(cfg Config) uint64 { return sim.ConfigHash(cfg) }
+
+// Fingerprint content-addresses one simulation: the benchmark mix, the fetch
+// policy, the measurement budget (instructions and resolved warm-up) and the
+// ConfigHash of the full configuration. Two requests with equal fingerprints
+// produce byte-identical results (the simulator is deterministic), which is
+// what lets a persistent result store deduplicate and resume sweeps. The
+// caller-chosen Tag is deliberately excluded: it labels a request, it does
+// not change the simulation.
 //
-// Deprecated: RunSingle is the pre-Engine entry point, kept as a thin shim
-// over a throwaway Engine. Use NewEngine(...).RunSingle(ctx, ...), which
-// adds cancellation and reference-cache reuse across calls.
-func RunSingle(cfg Config, benchmark string, opts RunOptions) (SingleResult, error) {
-	return NewEngine(opts.options()...).RunSingle(context.Background(), cfg, benchmark)
+// The human-readable prefix (workload, policy, budgets) aids debugging and
+// store inspection; the trailing hash additionally covers the benchmark list
+// with separators and the full configuration, so the fingerprint as a whole
+// is collision-resistant even where names could be ambiguous.
+func Fingerprint(req Request, instructions, warmup uint64) string {
+	h := fnv.New64a()
+	for _, b := range req.Workload.Benchmarks {
+		h.Write([]byte(b))
+		h.Write([]byte{0})
+	}
+	fmt.Fprintf(h, "%s|i=%d|w=%d|cfg=%016x", req.Policy, instructions, warmup, ConfigHash(req.Config))
+	return fmt.Sprintf("%s|%s|i=%d|w=%d|%016x",
+		req.Workload.Name(), req.Policy, instructions, warmup, h.Sum64())
 }
 
-// RunWorkload simulates a multiprogrammed workload under the given fetch
-// policy.
-//
-// Deprecated: RunWorkload is the pre-Engine entry point, kept as a thin
-// shim over a throwaway Engine. Use NewEngine(...).RunWorkload(ctx, ...),
-// which adds cancellation and reference-cache reuse across calls, or
-// Engine.RunBatch for sweeps.
-func RunWorkload(cfg Config, w Workload, p Policy, opts RunOptions) (WorkloadResult, error) {
-	return NewEngine(opts.options()...).RunWorkload(context.Background(), cfg, w, p)
+// Fingerprint content-addresses req under this engine's measurement budget;
+// see the package-level Fingerprint.
+func (e *Engine) Fingerprint(req Request) string {
+	return Fingerprint(req, e.Instructions(), e.Warmup())
 }

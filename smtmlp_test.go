@@ -1,6 +1,9 @@
 package smtmlp
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestBenchmarksList(t *testing.T) {
 	if len(Benchmarks()) != 26 {
@@ -27,25 +30,9 @@ func TestPoliciesList(t *testing.T) {
 	}
 }
 
-func TestRunSingle(t *testing.T) {
-	res, err := RunSingle(DefaultConfig(1), "gcc", RunOptions{Instructions: 10_000})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.IPC <= 0 || res.Instructions < 10_000 || res.Cycles <= 0 {
-		t.Fatalf("bad result %+v", res)
-	}
-}
-
-func TestRunSingleUnknownBenchmark(t *testing.T) {
-	if _, err := RunSingle(DefaultConfig(1), "nope", RunOptions{}); err == nil {
-		t.Fatal("unknown benchmark accepted")
-	}
-}
-
-func TestRunWorkload(t *testing.T) {
-	res, err := RunWorkload(DefaultConfig(2), Mix("swim", "twolf"), MLPFlush,
-		RunOptions{Instructions: 15_000})
+func TestRunWorkloadResultShape(t *testing.T) {
+	eng := NewEngine(WithInstructions(15_000))
+	res, err := eng.RunWorkload(context.Background(), DefaultConfig(2), Mix("swim", "twolf"), MLPFlush)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,12 +49,6 @@ func TestRunWorkload(t *testing.T) {
 		if th.IPC <= 0 || th.Committed == 0 || th.CPIST <= 0 || th.CPIMT <= 0 {
 			t.Fatalf("bad thread result %+v", th)
 		}
-	}
-}
-
-func TestRunWorkloadUnknownBenchmark(t *testing.T) {
-	if _, err := RunWorkload(DefaultConfig(2), Mix("swim", "nope"), ICount, RunOptions{}); err == nil {
-		t.Fatal("unknown benchmark accepted")
 	}
 }
 
