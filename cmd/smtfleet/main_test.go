@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"smtmlp"
+	"smtmlp/internal/campaign"
+	"smtmlp/internal/server"
+	"smtmlp/internal/store"
+)
+
+// writeSpec drops an 8-cell campaign spec at a millisecond-scale budget.
+func writeSpec(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	spec := `{
+  "name": "fleet-cli",
+  "instructions": 5000,
+  "warmup": 1000,
+  "policies": ["icount", "mlpflush"],
+  "workloads": {"mixes": [["mcf","galgel"], ["swim","twolf"]]},
+  "grid": {"mem_latencies": [200, 500]}
+}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+var summaryRE = regexp.MustCompile(`total=(\d+) skipped=(\d+) executed=(\d+) failed=(\d+)`)
+
+func parseSummary(t *testing.T, out string) (total, skipped, executed, failed int) {
+	t.Helper()
+	m := summaryRE.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no summary line in output:\n%s", out)
+	}
+	atoi := func(s string) int { n, _ := strconv.Atoi(s); return n }
+	return atoi(m[1]), atoi(m[2]), atoi(m[3]), atoi(m[4])
+}
+
+// TestFleetCLIEndToEnd drives the full CLI path against two in-process
+// workers and byte-compares the merged store with a local campaign run of
+// the same spec.
+func TestFleetCLIEndToEnd(t *testing.T) {
+	specPath := writeSpec(t)
+	w1 := httptest.NewServer(server.New(smtmlp.NewEngine()))
+	defer w1.Close()
+	w2 := httptest.NewServer(server.New(smtmlp.NewEngine()))
+	defer w2.Close()
+
+	// Local ground truth through the campaign engine.
+	spec, err := readSpec(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localDir := t.TempDir()
+	localSt, err := store.Open(localDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campaign.Run(context.Background(), localSt, spec, campaign.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	localSt.Close()
+
+	fleetDir := filepath.Join(t.TempDir(), "store")
+	var out, errOut bytes.Buffer
+	code := run(context.Background(), []string{
+		"-spec", specPath, "-store", fleetDir,
+		"-workers", w1.URL + "," + w2.URL,
+		"-lease-size", "2",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("smtfleet exited %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	total, skipped, executed, failed := parseSummary(t, out.String())
+	if total != 8 || skipped != 0 || executed != 8 || failed != 0 {
+		t.Fatalf("summary total=%d skipped=%d executed=%d failed=%d", total, skipped, executed, failed)
+	}
+	for _, want := range []string{"config", "mem=200", "mem=500", "mlpflush", "ANTT"} {
+		if !bytes.Contains(out.Bytes(), []byte(want)) {
+			t.Fatalf("summary table missing %q:\n%s", want, out.String())
+		}
+	}
+	for _, name := range []string{"results.ndjson", "refs.ndjson"} {
+		want, err := os.ReadFile(filepath.Join(localDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(fleetDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("%s differs between local and fleet execution:\nlocal:\n%s\nfleet:\n%s", name, want, got)
+		}
+	}
+
+	// Overlap without -resume is refused.
+	out.Reset()
+	errOut.Reset()
+	if code := run(context.Background(), []string{
+		"-spec", specPath, "-store", fleetDir, "-workers", w1.URL,
+	}, &out, &errOut); code == 0 {
+		t.Fatal("overlapping store accepted without -resume")
+	}
+
+	// -resume over the complete store is a no-op.
+	out.Reset()
+	errOut.Reset()
+	if code := run(context.Background(), []string{
+		"-spec", specPath, "-store", fleetDir, "-workers", w1.URL, "-resume",
+	}, &out, &errOut); code != 0 {
+		t.Fatalf("no-op resume exited %d\nstderr: %s", code, errOut.String())
+	}
+	if _, skipped, executed, _ := parseSummary(t, out.String()); skipped != 8 || executed != 0 {
+		t.Fatalf("no-op resume skipped=%d executed=%d", skipped, executed)
+	}
+}
+
+func TestFleetCLIBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t)
+	cases := [][]string{
+		{},                                      // missing everything
+		{"-spec", spec, "-store", dir},          // missing workers
+		{"-spec", spec, "-workers", "http://x"}, // missing store
+		{"-spec", "/nonexistent", "-store", dir, "-workers", "x"}, // bad spec path
+		{"-spec", spec, "-store", dir, "-workers", " , "},         // empty worker list
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(context.Background(), args, &out, &errOut); code == 0 {
+			t.Fatalf("args %v exited 0", args)
+		}
+	}
+}

@@ -6,10 +6,18 @@
 //
 //	smtserved [-addr :8344] [-instructions N] [-warmup N] [-parallelism N]
 //	          [-cache-size N] [-max-batch N] [-max-threads N] [-store DIR]
+//	          [-max-leases N] [-lease-ttl D]
 //
 // With -store, the server opens the persistent result store at DIR,
 // warm-starts its reference cache from it, and enables the asynchronous
 // campaign endpoints (POST/GET /v1/campaigns) backed by the same store.
+//
+// Every smtserved is also a fleet worker: the /v1/work lease endpoints let a
+// cmd/smtfleet coordinator drive this process as one executor of a
+// distributed campaign (no -store needed on workers — results flow back to
+// the coordinator's store). -max-leases bounds concurrently-held leases and
+// -lease-ttl caps how long an uncollected lease is kept before its execution
+// is canceled and its state dropped.
 //
 // Quickstart:
 //
@@ -57,6 +65,8 @@ func run(ctx context.Context, args []string, out io.Writer) int {
 	maxBatch := fs.Int("max-batch", server.DefaultMaxBatch, "max simulations per /v1/batch call")
 	maxThreads := fs.Int("max-threads", server.DefaultMaxThreads, "max benchmarks per workload")
 	storeDir := fs.String("store", "", "result store directory enabling the /v1/campaigns endpoints (empty = campaigns disabled)")
+	maxLeases := fs.Int("max-leases", server.DefaultMaxLeases, "max concurrently-held fleet work leases")
+	leaseTTL := fs.Duration("lease-ttl", server.DefaultLeaseTTL, "max lifetime of an uncollected work lease")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -70,11 +80,22 @@ func run(ctx context.Context, args []string, out io.Writer) int {
 	opts := []server.Option{
 		server.WithMaxBatch(*maxBatch),
 		server.WithMaxThreads(*maxThreads),
-		// Campaigns run on the signal context: SIGINT/SIGTERM interrupts
-		// them cleanly, and a re-POSTed spec resumes from the store.
+		server.WithMaxLeases(*maxLeases),
+		server.WithLeaseTTL(*leaseTTL),
+		// Campaigns and work leases run on the signal context: SIGINT/SIGTERM
+		// interrupts them cleanly; a re-POSTed spec resumes from the store and
+		// a canceled lease is re-dispatched by its coordinator.
 		server.WithBaseContext(ctx),
 	}
 	var handler *server.Server
+	// Leases execute detached from any HTTP request; wait for them to observe
+	// the canceled base context before exiting (and, with -store, before the
+	// store closes).
+	defer func() {
+		if handler != nil {
+			handler.DrainWork()
+		}
+	}()
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {

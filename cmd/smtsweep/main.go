@@ -125,7 +125,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) int {
 		fmt.Fprintf(errOut, "smtsweep: summarizing: %v\n", err)
 		return 1
 	}
-	printSummary(out, rows)
+	campaign.WriteSummaryTable(out, rows)
 	return 0
 }
 
@@ -150,26 +150,4 @@ func readSpec(path string) (campaign.Spec, error) {
 		return campaign.Spec{}, fmt.Errorf("decoding spec %s: %w", path, err)
 	}
 	return spec, nil
-}
-
-// printSummary renders the per-(config, policy) aggregate table.
-func printSummary(out io.Writer, rows []campaign.SummaryRow) {
-	if len(rows) == 0 {
-		fmt.Fprintln(out, "no results to summarize")
-		return
-	}
-	wc, wp := len("config"), len("policy")
-	for _, r := range rows {
-		if len(r.Config) > wc {
-			wc = len(r.Config)
-		}
-		if len(r.Policy) > wp {
-			wp = len(r.Policy)
-		}
-	}
-	fmt.Fprintf(out, "%-*s  %-*s  %9s  %9s  %9s\n", wc, "config", wp, "policy", "workloads", "STP", "ANTT")
-	for _, r := range rows {
-		fmt.Fprintf(out, "%-*s  %-*s  %9d  %9.3f  %9.3f\n", wc, r.Config, wp, r.Policy, r.Workloads, r.STP, r.ANTT)
-	}
-	fmt.Fprintln(out, "note: STP harmonic-mean (higher better), ANTT arithmetic-mean (lower better), per the paper")
 }

@@ -383,3 +383,76 @@ func TestSummarize(t *testing.T) {
 		}
 	}
 }
+
+// TestMissingCellsAndPartition pins the distributed-execution work list: the
+// diff against the store preserves expansion order and indices, and
+// Partition chunks it contiguously without reordering.
+func TestMissingCellsAndPartition(t *testing.T) {
+	spec := tinySpec()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	reqs, fps, err := spec.Requests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, total, err := MissingCells(st, spec)
+	if err != nil || total != len(reqs) || len(cells) != len(reqs) {
+		t.Fatalf("empty-store diff: %d cells of %d total (err %v), want all %d",
+			len(cells), total, err, len(reqs))
+	}
+	for i, c := range cells {
+		if c.Index != i || c.Fingerprint != fps[i] || c.Request.Tag != reqs[i].Tag {
+			t.Fatalf("cell %d: %+v does not match expansion", i, c)
+		}
+	}
+
+	// Persist a scattered subset; the diff must be exactly the complement,
+	// still in expansion order with original indices.
+	for _, i := range []int{0, 3, 4, 9} {
+		if _, err := st.Append(store.Record{Fingerprint: fps[i], Request: reqs[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cells, total, err = MissingCells(st, spec)
+	if err != nil || total != len(reqs) || len(cells) != len(reqs)-4 {
+		t.Fatalf("partial diff: %d cells (err %v), want %d", len(cells), err, len(reqs)-4)
+	}
+	prev := -1
+	for _, c := range cells {
+		if c.Index <= prev || c.Index == 0 || c.Index == 3 || c.Index == 4 || c.Index == 9 {
+			t.Fatalf("diff returned persisted or out-of-order cell %d", c.Index)
+		}
+		prev = c.Index
+	}
+
+	// Partition: contiguous chunks, order preserved, sizes at most 3.
+	chunks := Partition(cells, 3)
+	if len(chunks) != (len(cells)+2)/3 {
+		t.Fatalf("partition into %d chunks of %d cells", len(chunks), len(cells))
+	}
+	flat := 0
+	for ci, chunk := range chunks {
+		if len(chunk) == 0 || len(chunk) > 3 {
+			t.Fatalf("chunk %d has %d cells", ci, len(chunk))
+		}
+		for _, c := range chunk {
+			if c.Index != cells[flat].Index {
+				t.Fatalf("partition reordered cell %d", flat)
+			}
+			flat++
+		}
+	}
+	if flat != len(cells) {
+		t.Fatalf("partition covered %d of %d cells", flat, len(cells))
+	}
+	if got := Partition(nil, 3); got != nil {
+		t.Fatalf("Partition(nil) = %v", got)
+	}
+	if got := Partition(cells, 0); len(got) != 1 || len(got[0]) != len(cells) {
+		t.Fatalf("Partition(size=0) = %d chunks", len(got))
+	}
+}

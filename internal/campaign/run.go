@@ -4,12 +4,68 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 
 	"smtmlp"
 	"smtmlp/internal/metrics"
 	"smtmlp/internal/store"
 )
+
+// Cell is one unit of campaign work: a request, its content address, and its
+// position in the spec's deterministic expansion. The index is what lets a
+// distributed executor commit results in expansion order regardless of
+// completion order, which is the store byte-determinism contract.
+type Cell struct {
+	// Index is the cell's position in Spec.Requests' expansion.
+	Index int `json:"index"`
+	// Fingerprint content-addresses the cell (smtmlp.Fingerprint under the
+	// spec's resolved budget).
+	Fingerprint string `json:"fp"`
+	// Request is the simulation to run.
+	Request smtmlp.Request `json:"request"`
+}
+
+// MissingCells expands the spec and diffs it against the store: it returns
+// the cells not yet persisted, in expansion order, along with the total
+// expansion size. This is the shared entry point of local execution (Run)
+// and distributed execution (internal/fleet): both operate on exactly this
+// work list, which is why their stores converge to the same bytes.
+func MissingCells(st *store.Store, spec Spec) (missing []Cell, total int, err error) {
+	reqs, fps, err := spec.Requests()
+	if err != nil {
+		return nil, 0, err
+	}
+	for i, fp := range fps {
+		if st.Has(fp) {
+			continue
+		}
+		missing = append(missing, Cell{Index: i, Fingerprint: fp, Request: reqs[i]})
+	}
+	return missing, len(reqs), nil
+}
+
+// Partition splits cells into contiguous chunks of at most size cells each,
+// preserving expansion order (size <= 0 yields one chunk). Contiguity is
+// deliberate: a chunk's results commit as one batch, so chunks that follow
+// expansion order keep the merged store identical to serial execution.
+func Partition(cells []Cell, size int) [][]Cell {
+	if len(cells) == 0 {
+		return nil
+	}
+	if size <= 0 {
+		size = len(cells)
+	}
+	out := make([][]Cell, 0, (len(cells)+size-1)/size)
+	for lo := 0; lo < len(cells); lo += size {
+		hi := lo + size
+		if hi > len(cells) {
+			hi = len(cells)
+		}
+		out = append(out, cells[lo:hi:hi])
+	}
+	return out
+}
 
 // Options tunes campaign execution.
 type Options struct {
@@ -68,11 +124,18 @@ type Summary struct {
 // store byte-identical to an uninterrupted run.
 func Run(ctx context.Context, st *store.Store, spec Spec, opts Options) (Summary, error) {
 	sum := Summary{Name: spec.Name}
-	reqs, fps, err := spec.Requests()
+	// Diff against the store: only the missing cells execute. Because
+	// results commit in submission order, the persisted set after an
+	// interruption is a prefix of the (deduplicated) expansion with
+	// deterministic failures removed — so the missing cells are exactly the
+	// suffix, and the resumed appends continue where the interrupted run
+	// stopped.
+	cells, total, err := MissingCells(st, spec)
 	if err != nil {
 		return sum, err
 	}
-	sum.Total = len(reqs)
+	sum.Total = total
+	sum.Skipped = total - len(cells)
 
 	instructions, warmup := spec.Params()
 	eng := smtmlp.NewEngine(
@@ -84,21 +147,11 @@ func Run(ctx context.Context, st *store.Store, spec Spec, opts Options) (Summary
 	sum.RefsSeeded = eng.Cache().Seed(st.Refs())
 	_, missesBefore, _ := eng.Cache().Stats()
 
-	// Diff against the store: only the missing cells execute. Because
-	// results commit in submission order, the persisted set after an
-	// interruption is a prefix of the (deduplicated) expansion with
-	// deterministic failures removed — so the missing cells are exactly the
-	// suffix, and the resumed appends continue where the interrupted run
-	// stopped.
-	var missing []smtmlp.Request
-	var missingFP []string
-	for i, fp := range fps {
-		if st.Has(fp) {
-			sum.Skipped++
-			continue
-		}
-		missing = append(missing, reqs[i])
-		missingFP = append(missingFP, fp)
+	missing := make([]smtmlp.Request, len(cells))
+	missingFP := make([]string, len(cells))
+	for i, c := range cells {
+		missing[i] = c.Request
+		missingFP[i] = c.Fingerprint
 	}
 	report := func() {
 		if opts.Progress != nil {
@@ -240,4 +293,28 @@ func Summarize(st *store.Store, spec Spec) ([]SummaryRow, error) {
 		})
 	}
 	return rows, nil
+}
+
+// WriteSummaryTable renders the per-(config, policy) aggregate rows as an
+// aligned text table — the shared output format of cmd/smtsweep and
+// cmd/smtfleet.
+func WriteSummaryTable(out io.Writer, rows []SummaryRow) {
+	if len(rows) == 0 {
+		fmt.Fprintln(out, "no results to summarize")
+		return
+	}
+	wc, wp := len("config"), len("policy")
+	for _, r := range rows {
+		if len(r.Config) > wc {
+			wc = len(r.Config)
+		}
+		if len(r.Policy) > wp {
+			wp = len(r.Policy)
+		}
+	}
+	fmt.Fprintf(out, "%-*s  %-*s  %9s  %9s  %9s\n", wc, "config", wp, "policy", "workloads", "STP", "ANTT")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-*s  %-*s  %9d  %9.3f  %9.3f\n", wc, r.Config, wp, r.Policy, r.Workloads, r.STP, r.ANTT)
+	}
+	fmt.Fprintln(out, "note: STP harmonic-mean (higher better), ANTT arithmetic-mean (lower better), per the paper")
 }

@@ -1,0 +1,687 @@
+// Package fleet is the coordinator half of distributed campaign execution:
+// it expands a campaign spec, diffs it against the local authoritative
+// store, partitions the missing cells into leases, and drives a set of
+// remote smtserved workers through the pull-based /v1/work protocol —
+// POST /v1/work/lease to deliver a batch, long-polling POST
+// /v1/work/complete to collect it.
+//
+// The design premise is that the store's content addressing does the hard
+// distributed-systems work. Every cell is identified by its campaign
+// fingerprint and the simulator is deterministic, so a lease that is
+// retried, double-delivered (a hedge against a straggler), or re-executed
+// after a worker dies produces byte-identical results, and the store's
+// dedupe-on-append absorbs every repeat. The coordinator therefore never
+// needs exactly-once delivery: at-least-once plus dedupe converges to the
+// same store bytes as single-node execution, which is the invariant the
+// package test proves.
+//
+// Ordering: chunks are contiguous slices of the expansion-ordered missing
+// cells, and a reorder buffer commits them strictly in chunk order (each
+// chunk as one store.AppendBatch), mirroring how campaign.Run commits in
+// submission order. Reference profiles arrive lease-scoped from workers and
+// merge through the store's sorted snapshot rewrite, so results.ndjson and
+// refs.ndjson both come out byte-identical to a local run of the same spec.
+//
+// Failure handling: a worker that stops answering is probed with
+// exponential backoff and, if still unreachable, declared lost — its
+// in-flight chunk is requeued to the survivors. Leases carry a TTL so a
+// worker never pins memory for a dead coordinator; an expired or canceled
+// lease is simply re-dispatched. When every worker is lost the run fails,
+// keeping everything committed so far (a later -resume fills the rest).
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"smtmlp"
+	"smtmlp/internal/campaign"
+	"smtmlp/internal/server"
+	"smtmlp/internal/store"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultLeaseSize    = 8
+	DefaultLeaseTTL     = 2 * time.Minute
+	DefaultCompleteWait = 2 * time.Second
+	DefaultMaxAttempts  = 4
+	DefaultStraggler    = 30 * time.Second
+
+	// idlePoll paces a driver with nothing claimable (and the beat after a
+	// lost lease) so it notices requeued or hedgeable work promptly without
+	// spinning.
+	idlePoll = 25 * time.Millisecond
+)
+
+// Options tunes a fleet run. Workers is the only required field.
+type Options struct {
+	// Workers lists worker base URLs (e.g. "http://host:8080"). Each worker
+	// gets one driver goroutine holding at most one lease at a time.
+	Workers []string
+	// LeaseSize is the number of cells per lease (0 = DefaultLeaseSize).
+	LeaseSize int
+	// LeaseTTL caps how long a worker holds an uncollected lease before
+	// canceling it (0 = DefaultLeaseTTL). It bounds how long a crashed
+	// coordinator pins worker memory, and how long a lease can sit
+	// uncollectable before being re-dispatched.
+	LeaseTTL time.Duration
+	// CompleteWait is the long-poll duration per collection request
+	// (0 = DefaultCompleteWait; the worker caps it server-side).
+	CompleteWait time.Duration
+	// MaxAttempts bounds lease deliveries per chunk (0 = DefaultMaxAttempts);
+	// beyond it the run fails rather than loop on a poisoned chunk.
+	MaxAttempts int
+	// ProbeRetries and ProbeBackoff shape worker health probing after a
+	// transport error: ProbeRetries attempts against GET /healthz, sleeping
+	// ProbeBackoff, 2x, 4x, ... between them (0 = 3 retries, 100ms base).
+	ProbeRetries int
+	ProbeBackoff time.Duration
+	// StragglerAfter enables hedged re-dispatch: an idle driver re-delivers
+	// the oldest chunk that has been in flight longer than this (the store
+	// dedupes whichever copy loses). 0 = DefaultStraggler; negative disables.
+	StragglerAfter time.Duration
+	// Client is the HTTP client (nil = a fresh http.Client). Do not set a
+	// global timeout shorter than CompleteWait: collection long-polls.
+	Client *http.Client
+	// Progress, when set, is invoked after every committed chunk. Calls are
+	// sequential.
+	Progress func(campaign.Progress)
+	// Eventf, when set, receives human-readable fleet events (worker lost,
+	// lease retried, hedged re-dispatch). Calls are serialized.
+	Eventf func(format string, args ...any)
+}
+
+// Summary reports a finished (or failed) fleet run.
+type Summary struct {
+	Name string `json:"name,omitempty"`
+	// Total is the grid size; Skipped cells were already in the store;
+	// Executed cells ran remotely and were committed; Failed cells failed
+	// deterministically on a worker (not persisted, exactly like local
+	// execution skips them).
+	Total    int `json:"total"`
+	Skipped  int `json:"skipped"`
+	Executed int `json:"executed"`
+	Failed   int `json:"failed"`
+	// Duplicates counts result cells absorbed by dedupe (hedged leases,
+	// re-deliveries after a lost collection, races with other writers).
+	Duplicates int `json:"duplicates"`
+	// LeasesDispatched counts every lease delivery, including hedges and
+	// retries; LeasesRetried counts chunks requeued after a lost, expired,
+	// canceled or busy lease; WorkersLost counts workers declared dead.
+	LeasesDispatched int `json:"leases_dispatched"`
+	LeasesRetried    int `json:"leases_retried"`
+	WorkersLost      int `json:"workers_lost"`
+	// RefsMerged counts reference profiles newly persisted to the store.
+	RefsMerged int `json:"refs_merged"`
+}
+
+// Run executes the spec's missing cells across the workers and commits the
+// results to the local store. On return the store holds everything that
+// committed — also on failure or cancellation, so re-running (or falling
+// back to local cmd/smtsweep -resume) completes the grid. The returned
+// error matches smtmlp.ErrCanceled when ctx was canceled.
+func Run(ctx context.Context, st *store.Store, spec campaign.Spec, opts Options) (Summary, error) {
+	sum := Summary{Name: spec.Name}
+	if len(opts.Workers) == 0 {
+		return sum, errors.New("fleet: no workers")
+	}
+	if opts.LeaseSize <= 0 {
+		opts.LeaseSize = DefaultLeaseSize
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = DefaultLeaseTTL
+	}
+	if opts.CompleteWait <= 0 {
+		opts.CompleteWait = DefaultCompleteWait
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = DefaultMaxAttempts
+	}
+	if opts.ProbeRetries <= 0 {
+		opts.ProbeRetries = 3
+	}
+	if opts.ProbeBackoff <= 0 {
+		opts.ProbeBackoff = 100 * time.Millisecond
+	}
+	if opts.StragglerAfter == 0 {
+		opts.StragglerAfter = DefaultStraggler
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{}
+	}
+
+	cells, total, err := campaign.MissingCells(st, spec)
+	if err != nil {
+		return sum, err
+	}
+	sum.Total = total
+	sum.Skipped = total - len(cells)
+	if opts.Progress != nil {
+		opts.Progress(campaign.Progress{Total: sum.Total, Skipped: sum.Skipped})
+	}
+	if len(cells) == 0 {
+		return sum, nil
+	}
+
+	instructions, warmup := spec.Params()
+	chunks := campaign.Partition(cells, opts.LeaseSize)
+	c := &coord{
+		st:           st,
+		chunks:       chunks,
+		instructions: instructions,
+		warmup:       warmup,
+		opts:         opts,
+		runID:        newRunID(),
+		queue:        make([]int, len(chunks)),
+		attempts:     make([]int, len(chunks)),
+		inflight:     make(map[int]*flight),
+		finished:     make(map[int][]server.WorkResult, len(chunks)),
+		refs:         make(map[string]smtmlp.RefProfile),
+		sum:          &sum,
+		live:         len(opts.Workers),
+		done:         make(chan struct{}),
+	}
+	for i := range chunks {
+		c.queue[i] = i
+	}
+
+	// Drivers get a context canceled the moment the run ends (all chunks
+	// committed, or failed), so in-flight hedge duplicates stop promptly
+	// instead of long-polling a result nobody will commit.
+	dctx, dcancel := context.WithCancel(ctx)
+	defer dcancel()
+	go func() {
+		select {
+		case <-c.done:
+			dcancel()
+		case <-dctx.Done():
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for _, w := range opts.Workers {
+		base := strings.TrimRight(w, "/")
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.driver(dctx, base)
+		}()
+	}
+	wg.Wait()
+
+	// Persist the reference profiles gathered so far — also on failure, so
+	// the next attempt warm-starts from them.
+	refs := make([]smtmlp.RefProfile, 0, len(c.refs))
+	for _, r := range c.refs {
+		refs = append(refs, r)
+	}
+	saved, mergeErr := st.MergeRefs(refs)
+	sum.RefsMerged = saved
+
+	c.mu.Lock()
+	runErr := c.runErr
+	committed := c.next
+	c.mu.Unlock()
+	if runErr == nil && committed < len(chunks) {
+		if ctx.Err() != nil {
+			runErr = fmt.Errorf("fleet: %w", smtmlp.ErrCanceled)
+		} else {
+			runErr = fmt.Errorf("fleet: run stopped with %d of %d chunks uncommitted", len(chunks)-committed, len(chunks))
+		}
+	}
+	if runErr == nil {
+		runErr = mergeErr
+	}
+	return sum, runErr
+}
+
+// flight tracks one chunk currently leased out.
+type flight struct {
+	started time.Time
+	holders map[string]bool // worker base URLs holding a live lease for it
+}
+
+// coord is the shared state of one fleet run.
+type coord struct {
+	st           *store.Store
+	chunks       [][]campaign.Cell
+	instructions uint64
+	warmup       uint64
+	opts         Options
+	runID        string
+
+	mu       sync.Mutex
+	queue    []int // chunk indexes awaiting dispatch, FIFO
+	attempts []int // lease deliveries per chunk
+	inflight map[int]*flight
+	finished map[int][]server.WorkResult // collected, awaiting the cursor
+	next     int                         // commit cursor: chunks [0, next) are in the store
+	refs     map[string]smtmlp.RefProfile
+	sum      *Summary
+	live     int
+	runErr   error
+	closed   bool
+	seq      int
+	done     chan struct{}
+
+	eventMu sync.Mutex
+}
+
+func newRunID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "fleet"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func (c *coord) eventf(format string, args ...any) {
+	if c.opts.Eventf == nil {
+		return
+	}
+	c.eventMu.Lock()
+	defer c.eventMu.Unlock()
+	c.opts.Eventf(format, args...)
+}
+
+// claim hands the worker its next chunk: the head of the queue, or — when
+// the queue is drained and hedging is enabled — the oldest straggling
+// in-flight chunk this worker is not already running. Every claim gets a
+// fresh lease ID: lease IDs are idempotency keys on the worker, so a
+// re-delivery after cancellation must not collide with the dead lease.
+func (c *coord) claim(base string) (idx int, leaseID string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, "", false
+	}
+	hedged := false
+	if len(c.queue) > 0 {
+		idx = c.queue[0]
+		c.queue = c.queue[1:]
+	} else {
+		if c.opts.StragglerAfter < 0 {
+			return 0, "", false
+		}
+		best := -1
+		for i, f := range c.inflight {
+			if f.holders[base] || time.Since(f.started) < c.opts.StragglerAfter {
+				continue
+			}
+			if best == -1 || f.started.Before(c.inflight[best].started) {
+				best = i
+			}
+		}
+		if best == -1 {
+			return 0, "", false
+		}
+		idx = best
+		hedged = true
+	}
+	f := c.inflight[idx]
+	if f == nil {
+		f = &flight{started: time.Now(), holders: make(map[string]bool, 1)}
+		c.inflight[idx] = f
+	}
+	f.holders[base] = true
+	c.attempts[idx]++
+	c.seq++
+	leaseID = fmt.Sprintf("%s-%d.%d", c.runID, idx, c.seq)
+	c.sum.LeasesDispatched++
+	if hedged {
+		go c.eventf("fleet: hedging straggler chunk %d on %s as lease %s", idx, base, leaseID)
+	}
+	return idx, leaseID, true
+}
+
+// release drops the worker's hold on a chunk that did not complete. If no
+// hedge partner still holds it and it is not already committed, the chunk
+// goes back to the front of the queue (front, so the commit cursor unblocks
+// as soon as possible); a chunk that exhausted its attempts fails the run.
+func (c *coord) release(idx int, base string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := c.inflight[idx]
+	if f != nil {
+		delete(f.holders, base)
+	}
+	if idx < c.next || c.finished[idx] != nil {
+		return // already collected elsewhere
+	}
+	if f != nil && len(f.holders) > 0 {
+		return // a hedge partner is still running it
+	}
+	delete(c.inflight, idx)
+	if c.attempts[idx] >= c.opts.MaxAttempts {
+		c.closeLocked(fmt.Errorf("fleet: chunk %d failed after %d lease attempts", idx, c.attempts[idx]))
+		return
+	}
+	c.queue = append([]int{idx}, c.queue...)
+	c.sum.LeasesRetried++
+}
+
+// finish records a collected lease and advances the commit cursor. A chunk
+// already collected (a hedge or re-delivery landing second) is discarded —
+// the store would have deduplicated it anyway; discarding just skips the
+// no-op write.
+func (c *coord) finish(idx int, base string, results []server.WorkResult, refs []smtmlp.RefProfile) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f := c.inflight[idx]; f != nil {
+		delete(f.holders, base)
+		if len(f.holders) == 0 {
+			delete(c.inflight, idx)
+		}
+	}
+	if idx < c.next || c.finished[idx] != nil {
+		c.sum.Duplicates += len(results)
+		return
+	}
+	c.finished[idx] = results
+	for _, r := range refs {
+		if _, ok := c.refs[r.Key]; !ok {
+			c.refs[r.Key] = r
+		}
+	}
+	c.advanceLocked()
+}
+
+// advanceLocked commits every consecutive finished chunk at the cursor, each
+// as one atomic batch append, preserving expansion order end to end.
+func (c *coord) advanceLocked() {
+	for {
+		results, ok := c.finished[c.next]
+		if !ok {
+			return
+		}
+		delete(c.finished, c.next)
+		recs := make([]store.Record, 0, len(results))
+		failed := 0
+		for _, wr := range results {
+			if wr.Error != "" || wr.Result == nil {
+				failed++
+				continue
+			}
+			recs = append(recs, store.Record{
+				Fingerprint: wr.Fingerprint,
+				Request:     wr.Request,
+				Result:      *wr.Result,
+			})
+		}
+		fresh, err := c.st.AppendBatch(recs)
+		if err != nil {
+			c.closeLocked(fmt.Errorf("fleet: persisting chunk %d: %w", c.next, err))
+			return
+		}
+		c.sum.Executed += len(recs)
+		c.sum.Duplicates += len(recs) - fresh
+		c.sum.Failed += failed
+		c.next++
+		if c.opts.Progress != nil {
+			c.opts.Progress(campaign.Progress{Total: c.sum.Total, Skipped: c.sum.Skipped,
+				Executed: c.sum.Executed, Failed: c.sum.Failed})
+		}
+		if c.next == len(c.chunks) {
+			c.closeLocked(nil)
+			return
+		}
+	}
+}
+
+// closeLocked ends the run (idempotently), keeping the first error.
+func (c *coord) closeLocked(err error) {
+	if err != nil && c.runErr == nil {
+		c.runErr = err
+	}
+	if !c.closed {
+		c.closed = true
+		close(c.done)
+	}
+}
+
+func (c *coord) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closeLocked(err)
+}
+
+// loseWorker retires a worker that failed its health probes. When the last
+// worker dies with work outstanding, the run fails (everything committed so
+// far stays committed).
+func (c *coord) loseWorker(base string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sum.WorkersLost++
+	c.live--
+	if c.live == 0 && c.next < len(c.chunks) {
+		c.closeLocked(fmt.Errorf("fleet: all %d workers lost with %d of %d chunks uncommitted",
+			len(c.opts.Workers), len(c.chunks)-c.next, len(c.chunks)))
+	}
+}
+
+// errLeaseLost marks a lease that ended without results (canceled, expired,
+// unknown to the worker, or refused busy): requeue and move on.
+var errLeaseLost = errors.New("fleet: lease lost")
+
+// transportError marks a network-level failure talking to a worker; it
+// triggers the health-probe path rather than a simple requeue.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// driver runs one worker: claim a chunk, deliver it as a lease, long-poll
+// the collection, commit; on trouble, requeue and either retry, probe, or
+// retire the worker.
+func (c *coord) driver(ctx context.Context, base string) {
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ctx.Done():
+			return
+		default:
+		}
+		idx, leaseID, ok := c.claim(base)
+		if !ok {
+			if !c.sleep(ctx, idlePoll) {
+				return
+			}
+			continue
+		}
+		out, err := c.execChunk(ctx, base, idx, leaseID)
+		if err == nil {
+			c.finish(idx, base, out.results, out.refs)
+			continue
+		}
+		c.release(idx, base)
+		var te *transportError
+		switch {
+		case ctx.Err() != nil:
+			return
+		case errors.Is(err, errLeaseLost):
+			c.eventf("fleet: %v; requeued chunk %d", err, idx)
+			if !c.sleep(ctx, idlePoll) {
+				return
+			}
+		case errors.As(err, &te):
+			c.eventf("fleet: worker %s unreachable (%v); probing", base, te.err)
+			if !c.probe(ctx, base) {
+				c.eventf("fleet: worker %s lost; chunk %d requeued to survivors", base, idx)
+				c.loseWorker(base)
+				return
+			}
+			c.eventf("fleet: worker %s recovered", base)
+		default:
+			// A protocol-level rejection (validation, version skew): every
+			// worker would refuse the same lease, so retrying is pointless.
+			c.fail(fmt.Errorf("fleet: worker %s rejected lease %s: %w", base, leaseID, err))
+			return
+		}
+	}
+}
+
+// sleep waits d, or returns false if the run or context ended first.
+func (c *coord) sleep(ctx context.Context, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-c.done:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// leaseOut is a collected lease.
+type leaseOut struct {
+	results []server.WorkResult
+	refs    []smtmlp.RefProfile
+}
+
+// execChunk delivers one chunk as a lease and long-polls until the worker
+// finishes it. The collection loop is bounded by the lease TTL: a lease
+// stuck "running" past it has been (or is about to be) expired worker-side,
+// so the chunk is reported lost rather than polled forever.
+func (c *coord) execChunk(ctx context.Context, base string, idx int, leaseID string) (leaseOut, error) {
+	chunk := c.chunks[idx]
+	cells := make([]server.WorkCell, len(chunk))
+	for i, cell := range chunk {
+		cells[i] = server.WorkCell{Fingerprint: cell.Fingerprint, Request: cell.Request}
+	}
+	var status server.LeaseStatus
+	apiErr, err := c.post(ctx, base, "/v1/work/lease", server.LeaseRequest{
+		LeaseID:      leaseID,
+		Instructions: c.instructions,
+		Warmup:       c.warmup,
+		TTLMillis:    c.opts.LeaseTTL.Milliseconds(),
+		Cells:        cells,
+	}, &status)
+	if err != nil {
+		return leaseOut{}, &transportError{err}
+	}
+	if apiErr != nil {
+		if apiErr.Code == server.CodeWorkerBusy {
+			return leaseOut{}, fmt.Errorf("%w: worker %s busy", errLeaseLost, base)
+		}
+		return leaseOut{}, apiErr
+	}
+
+	deadline := time.Now().Add(c.opts.LeaseTTL + c.opts.CompleteWait + 5*time.Second)
+	for {
+		var resp server.CompleteResponse
+		apiErr, err := c.post(ctx, base, "/v1/work/complete", server.CompleteRequest{
+			LeaseID:    leaseID,
+			WaitMillis: c.opts.CompleteWait.Milliseconds(),
+		}, &resp)
+		if err != nil {
+			return leaseOut{}, &transportError{err}
+		}
+		if apiErr != nil {
+			if apiErr.Code == server.CodeUnknownLease {
+				return leaseOut{}, fmt.Errorf("%w: lease %s gone from worker %s", errLeaseLost, leaseID, base)
+			}
+			return leaseOut{}, apiErr
+		}
+		switch resp.Lease.Status {
+		case "done":
+			return leaseOut{results: resp.Results, refs: resp.Refs}, nil
+		case "running":
+			if time.Now().After(deadline) {
+				return leaseOut{}, fmt.Errorf("%w: lease %s still running on %s past its TTL", errLeaseLost, leaseID, base)
+			}
+		default: // "canceled", "expired"
+			return leaseOut{}, fmt.Errorf("%w: lease %s %s on worker %s", errLeaseLost, leaseID, resp.Lease.Status, base)
+		}
+	}
+}
+
+// apiError is a worker's structured error envelope.
+type apiError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("HTTP %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// post sends one JSON request. It returns (nil, nil) with out decoded on a
+// 2xx, the worker's error envelope on any other status, and a plain error
+// on a network-level failure.
+func (c *coord) post(ctx context.Context, base, path string, in, out any) (*apiError, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return nil, fmt.Errorf("encoding %s body: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.opts.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				return nil, fmt.Errorf("decoding %s response: %w", path, err)
+			}
+		}
+		return nil, nil
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	_ = json.Unmarshal(data, &env) // a non-JSON error body still reports the status
+	return &apiError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}, nil
+}
+
+// probe checks worker health with exponential backoff after a transport
+// error. True means the worker answered /healthz and the driver may resume.
+func (c *coord) probe(ctx context.Context, base string) bool {
+	backoff := c.opts.ProbeBackoff
+	for i := 0; i < c.opts.ProbeRetries; i++ {
+		if !c.sleep(ctx, backoff) {
+			return false
+		}
+		backoff *= 2
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+		if err != nil {
+			return false
+		}
+		resp, err := c.opts.Client.Do(req)
+		if err != nil {
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return true
+		}
+	}
+	return false
+}

@@ -19,11 +19,15 @@
 //	                     internal/campaign.Spec) against the server's result
 //	                     store; answers 202 with the campaign id
 //	GET  /v1/campaigns — list campaigns; /v1/campaigns/{id} polls one
+//	POST /v1/work/lease    — accept a lease of campaign cells from a fleet
+//	                         coordinator (see work.go); answers 202
+//	POST /v1/work/complete — long-poll a lease and collect its results
+//	GET  /v1/work          — list the leases this worker currently holds
 //
 // Errors are JSON bodies {"error":{"code":...,"message":...}} with stable
 // codes (unknown_benchmark, unknown_policy, invalid_request,
 // invalid_workload, batch_too_large, too_many_threads, unknown_campaign,
-// store_unavailable).
+// unknown_lease, worker_busy, store_unavailable).
 package server
 
 import (
@@ -35,6 +39,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"smtmlp"
 	"smtmlp/internal/store"
@@ -58,9 +63,11 @@ const (
 	CodeUnknownBenchmark = "unknown_benchmark"
 	CodeUnknownPolicy    = "unknown_policy"
 	CodeUnknownCampaign  = "unknown_campaign"
+	CodeUnknownLease     = "unknown_lease"
 	CodeBatchTooLarge    = "batch_too_large"
 	CodeTooManyThreads   = "too_many_threads"
 	CodeStoreUnavailable = "store_unavailable"
+	CodeWorkerBusy       = "worker_busy"
 	CodeCanceled         = "canceled"
 	CodeInternal         = "internal"
 )
@@ -81,11 +88,25 @@ type Server struct {
 	order     []string // campaign ids in creation order
 	nextID    int
 
+	// Work-lease state (the /v1/work worker protocol; see work.go). Guarded
+	// by mu alongside the campaign maps.
+	leases     map[string]*workLease
+	leaseOrder []string // lease ids in acceptance order
+	maxLeases  int
+	leaseTTL   time.Duration
+
 	// Server-level counters for /metrics.
 	requestsTotal  atomic.Int64
 	batchesActive  atomic.Int64
 	batchResults   atomic.Int64
 	clientsDropped atomic.Int64
+
+	// Work-lease counters for /metrics.
+	leasesAccepted  atomic.Int64
+	leasesCollected atomic.Int64
+	leasesExpired   atomic.Int64
+	cellsExecuted   atomic.Int64
+	cellsFailed     atomic.Int64
 }
 
 // Option configures a Server under construction.
@@ -117,6 +138,27 @@ func WithStore(st *store.Store) Option {
 	return func(s *Server) { s.store = st }
 }
 
+// WithMaxLeases bounds the number of running work leases the server holds at
+// once (further leases answer 429 worker_busy); n <= 0 keeps the default.
+func WithMaxLeases(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxLeases = n
+		}
+	}
+}
+
+// WithLeaseTTL sets how long an uncollected work lease survives before the
+// worker cancels and forgets it; d <= 0 keeps the default. A lease may
+// request a shorter TTL than the server's, never a longer one.
+func WithLeaseTTL(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.leaseTTL = d
+		}
+	}
+}
+
 // WithBaseContext sets the lifecycle context for asynchronous campaign
 // execution (campaigns outlive the POST request that started them).
 // Canceling it — e.g. on SIGTERM — cleanly interrupts running campaigns;
@@ -140,6 +182,9 @@ func New(eng *smtmlp.Engine, opts ...Option) *Server {
 		maxThreads: DefaultMaxThreads,
 		baseCtx:    context.Background(),
 		campaigns:  make(map[string]*campaignRun),
+		leases:     make(map[string]*workLease),
+		maxLeases:  DefaultMaxLeases,
+		leaseTTL:   DefaultLeaseTTL,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -154,6 +199,9 @@ func New(eng *smtmlp.Engine, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaignCreate)
 	s.mux.HandleFunc("GET /v1/campaigns", s.handleCampaignList)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignGet)
+	s.mux.HandleFunc("POST /v1/work/lease", s.handleWorkLease)
+	s.mux.HandleFunc("POST /v1/work/complete", s.handleWorkComplete)
+	s.mux.HandleFunc("GET /v1/work", s.handleWorkList)
 	return s
 }
 
@@ -210,10 +258,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
 }
 
-// MetricsResponse is the /metrics body.
+// MetricsResponse is the /metrics body. Store is present only on
+// store-backed servers; its gauges (results appended, dedupe hits, refs
+// snapshot age) are what make fleet convergence observable per node.
 type MetricsResponse struct {
 	Engine smtmlp.EngineMetrics `json:"engine"`
 	Server ServerMetrics        `json:"server"`
+	Work   WorkMetrics          `json:"work"`
+	Store  *store.Metrics       `json:"store,omitempty"`
 }
 
 // ServerMetrics are the handler-level counters.
@@ -225,7 +277,7 @@ type ServerMetrics struct {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, MetricsResponse{
+	resp := MetricsResponse{
 		Engine: s.eng.Metrics(),
 		Server: ServerMetrics{
 			RequestsTotal:        s.requestsTotal.Load(),
@@ -233,7 +285,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			BatchResultsStreamed: s.batchResults.Load(),
 			ClientsDropped:       s.clientsDropped.Load(),
 		},
-	})
+		Work: s.workMetrics(),
+	}
+	if s.store != nil {
+		m := s.store.Metrics()
+		resp.Store = &m
+	}
+	writeJSON(w, resp)
 }
 
 // PoliciesResponse is the /v1/policies body.

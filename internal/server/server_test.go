@@ -24,6 +24,8 @@ import (
 
 	"smtmlp"
 	"smtmlp/internal/server"
+	"smtmlp/internal/sim"
+	"smtmlp/internal/store"
 )
 
 // testEngine returns a laptop-fast engine; simulations take ~20ms each.
@@ -462,6 +464,65 @@ func TestMetricsEndpoint(t *testing.T) {
 	if after.Engine.InFlight != 0 || after.Engine.QueueDepth != 0 {
 		t.Fatalf("idle server reports in_flight=%d queue_depth=%d",
 			after.Engine.InFlight, after.Engine.QueueDepth)
+	}
+	// A store-less server must not report store gauges at all.
+	if after.Store != nil {
+		t.Fatalf("store-less server reports store metrics %+v", after.Store)
+	}
+
+	// Lease traffic shows up in the work gauges.
+	cells := leaseCells(5_000, 1_000, []string{"mcf", "galgel"})
+	rec := post(t, srv, "/v1/work/lease", leaseBody(t, server.LeaseRequest{
+		LeaseID: "m1", Instructions: 5_000, Warmup: 1_000, Cells: cells,
+	}))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("lease status %d, body %s", rec.Code, rec.Body)
+	}
+	collect(t, srv, "m1")
+	decodeInto(t, get(t, srv, "/metrics"), &after)
+	if after.Work.LeasesAccepted != 1 || after.Work.LeasesCollected != 1 ||
+		after.Work.CellsExecuted != int64(len(cells)) {
+		t.Fatalf("work metrics after one collected lease: %+v", after.Work)
+	}
+}
+
+// TestMetricsEndpointStoreGauges pins the store block of /metrics: appended
+// results, dedupe hits, and the refs snapshot age a fleet operator watches
+// to confirm merges are landing.
+func TestMetricsEndpointStoreGauges(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := server.New(testEngine(), server.WithStore(st))
+
+	var m server.MetricsResponse
+	decodeInto(t, get(t, srv, "/metrics"), &m)
+	if m.Store == nil {
+		t.Fatal("store-backed server reports no store metrics")
+	}
+	if m.Store.Results != 0 || m.Store.AppendsTotal != 0 || m.Store.RefsSnapshotAgeSeconds != -1 {
+		t.Fatalf("fresh store metrics %+v", m.Store)
+	}
+
+	req := smtmlp.Request{Tag: "t", Config: smtmlp.DefaultConfig(2),
+		Workload: smtmlp.Mix("mcf", "galgel"), Policy: smtmlp.ICount}
+	rec := store.Record{Fingerprint: smtmlp.Fingerprint(req, 5_000, 1_000), Request: req}
+	for i := 0; i < 2; i++ { // second append is a dedupe hit
+		if _, err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.MergeRefs([]sim.RefRecord{{Key: "metrics-test-key"}}); err != nil {
+		t.Fatal(err)
+	}
+	decodeInto(t, get(t, srv, "/metrics"), &m)
+	if m.Store.Results != 1 || m.Store.AppendsTotal != 1 || m.Store.DedupeHits != 1 {
+		t.Fatalf("store metrics after append+dup: %+v", m.Store)
+	}
+	if m.Store.RefsSnapshotAgeSeconds < 0 {
+		t.Fatalf("refs snapshot written but age is %v", m.Store.RefsSnapshotAgeSeconds)
 	}
 }
 

@@ -1,0 +1,462 @@
+// The /v1/work endpoints: the worker half of distributed campaign
+// execution. A fleet coordinator (internal/fleet, cmd/smtfleet) partitions a
+// campaign's missing cells into leases and delivers each lease to a worker
+// with POST /v1/work/lease; the worker executes the cells asynchronously
+// through its own per-lease engine (sharing the server's reference cache)
+// and the coordinator collects the finished results — plus the
+// single-threaded reference profiles the lease needed — with a long-polling
+// POST /v1/work/complete.
+//
+// The protocol is built for an unreliable fleet:
+//
+//   - Leases are idempotent on lease_id: re-POSTing a lease the worker
+//     already holds (the coordinator's 202 got lost) returns the current
+//     status without restarting execution.
+//   - Results are content-addressed: every cell carries the campaign
+//     fingerprint, and the worker verifies it against the request before
+//     accepting the lease, so a coordinator/worker version skew cannot
+//     poison a store.
+//   - In-flight leases are bounded (worker_busy beyond the bound) and every
+//     lease carries a TTL; an uncollected lease expires, its execution is
+//     canceled and its state dropped, so a dead coordinator cannot pin
+//     worker memory.
+//   - Workers never see the store. They are pure executors; all persistence
+//     and ordering happens at the coordinator, which is what makes retries
+//     and duplicate deliveries converge (dedupe-on-append by fingerprint).
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"smtmlp"
+	"smtmlp/internal/sim"
+)
+
+// Defaults for the work-lease bounds.
+const (
+	// DefaultMaxLeases bounds concurrently-held (uncollected) leases.
+	DefaultMaxLeases = 4
+	// DefaultLeaseTTL is how long an uncollected lease survives before the
+	// worker cancels it and drops its state.
+	DefaultLeaseTTL = 10 * time.Minute
+	// maxCompleteWait caps the long-poll duration of /v1/work/complete.
+	maxCompleteWait = 30 * time.Second
+)
+
+// WorkCell is one leased simulation: the campaign's content address plus the
+// full request. The worker recomputes the fingerprint under the lease's
+// budget and rejects the lease on a mismatch.
+type WorkCell struct {
+	Fingerprint string         `json:"fp"`
+	Request     smtmlp.Request `json:"request"`
+}
+
+// LeaseRequest is the POST /v1/work/lease body: a batch of cells to execute
+// under the given measurement budget. TTLMillis caps how long the worker
+// holds the lease awaiting collection (0 = the server default).
+type LeaseRequest struct {
+	LeaseID      string     `json:"lease_id"`
+	Instructions uint64     `json:"instructions,omitempty"`
+	Warmup       uint64     `json:"warmup,omitempty"`
+	TTLMillis    int64      `json:"ttl_ms,omitempty"`
+	Cells        []WorkCell `json:"cells"`
+}
+
+// LeaseStatus is the JSON shape of one lease in work responses.
+type LeaseStatus struct {
+	LeaseID string `json:"lease_id"`
+	// Status is "running", "done", "canceled" (server shutdown) or
+	// "expired" (TTL elapsed before collection).
+	Status   string `json:"status"`
+	Total    int    `json:"total"`
+	Executed int    `json:"executed"`
+	Failed   int    `json:"failed"`
+}
+
+// CompleteRequest is the POST /v1/work/complete body. WaitMillis long-polls:
+// the worker holds the request up to that long (capped server-side) waiting
+// for the lease to finish before answering.
+type CompleteRequest struct {
+	LeaseID    string `json:"lease_id"`
+	WaitMillis int64  `json:"wait_ms,omitempty"`
+}
+
+// WorkResult is one executed cell: the fingerprint it was leased under and
+// either a result or a deterministic failure message.
+type WorkResult struct {
+	Fingerprint string                 `json:"fp"`
+	Request     smtmlp.Request         `json:"request"`
+	Result      *smtmlp.WorkloadResult `json:"result,omitempty"`
+	Error       string                 `json:"error,omitempty"`
+}
+
+// CompleteResponse is the /v1/work/complete body. Results (in cell order)
+// and Refs (the single-threaded reference profiles this lease's cells
+// needed, sorted by key) are present only once the lease status is "done";
+// a successful collection removes the lease from the worker.
+type CompleteResponse struct {
+	Lease   LeaseStatus         `json:"lease"`
+	Results []WorkResult        `json:"results,omitempty"`
+	Refs    []smtmlp.RefProfile `json:"refs,omitempty"`
+}
+
+// WorkListResponse is the GET /v1/work body: every lease the worker
+// currently holds, in acceptance order, plus the lifetime counters — the
+// operator's answer to "what is this worker doing right now".
+type WorkListResponse struct {
+	Leases  []LeaseStatus `json:"leases"`
+	Metrics WorkMetrics   `json:"metrics"`
+}
+
+// WorkMetrics are the worker-side lease counters exposed on /metrics.
+type WorkMetrics struct {
+	LeasesAccepted  int64 `json:"leases_accepted"`
+	LeasesActive    int64 `json:"leases_active"`
+	LeasesCollected int64 `json:"leases_collected"`
+	LeasesExpired   int64 `json:"leases_expired"`
+	CellsExecuted   int64 `json:"cells_executed"`
+	CellsFailed     int64 `json:"cells_failed"`
+}
+
+// workLease is the server-side state of one lease.
+type workLease struct {
+	id    string
+	cells []WorkCell
+
+	mu       sync.Mutex
+	status   string // "running", "done", "canceled", "expired"
+	executed int
+	failed   int
+	results  []WorkResult
+	refs     []smtmlp.RefProfile
+
+	cancel context.CancelFunc
+	expire *time.Timer
+	done   chan struct{} // closed when the execution goroutine finishes
+}
+
+// snapshot renders the lease under its lock.
+func (l *workLease) snapshot() LeaseStatus {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LeaseStatus{
+		LeaseID:  l.id,
+		Status:   l.status,
+		Total:    len(l.cells),
+		Executed: l.executed,
+		Failed:   l.failed,
+	}
+}
+
+// handleWorkLease accepts (or idempotently re-acknowledges) a lease and
+// starts executing it on the server's lifecycle context.
+func (s *Server) handleWorkLease(w http.ResponseWriter, r *http.Request) {
+	var lr LeaseRequest
+	if !decodeBody(w, r, &lr) {
+		return
+	}
+	if lr.LeaseID == "" {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "lease has no lease_id")
+		return
+	}
+	if len(lr.Cells) == 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "lease %q has no cells", lr.LeaseID)
+		return
+	}
+	if len(lr.Cells) > s.maxBatch {
+		writeError(w, http.StatusBadRequest, CodeBatchTooLarge,
+			"lease of %d cells exceeds the server limit of %d", len(lr.Cells), s.maxBatch)
+		return
+	}
+
+	// The per-lease engine: the lease's measurement budget (part of every
+	// fingerprint), the service engine's parallelism, and — crucially — the
+	// service engine's reference cache, so leases, /v1/run and /v1/batch all
+	// warm each other.
+	eng := smtmlp.NewEngine(
+		smtmlp.WithInstructions(lr.Instructions),
+		smtmlp.WithWarmup(lr.Warmup),
+		smtmlp.WithParallelism(s.eng.Parallelism()),
+		smtmlp.WithCache(s.eng.Cache()),
+	)
+	for _, cell := range lr.Cells {
+		if !s.checkWorkload(w, cell.Request.Workload.Benchmarks) {
+			return
+		}
+		if fp := smtmlp.Fingerprint(cell.Request, eng.Instructions(), eng.Warmup()); fp != cell.Fingerprint {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+				"cell fingerprint %q does not match its request (worker computes %q); coordinator/worker mismatch?",
+				cell.Fingerprint, fp)
+			return
+		}
+	}
+
+	ttl := s.leaseTTL
+	if lr.TTLMillis > 0 {
+		if reqTTL := time.Duration(lr.TTLMillis) * time.Millisecond; reqTTL < ttl {
+			ttl = reqTTL
+		}
+	}
+
+	s.mu.Lock()
+	if existing, ok := s.leases[lr.LeaseID]; ok {
+		// Idempotent re-delivery: the coordinator re-sent a lease we already
+		// hold (its 202 was lost, or it is hedging). Acknowledge without
+		// restarting.
+		s.mu.Unlock()
+		writeJSON(w, existing.snapshot())
+		return
+	}
+	active := int64(0)
+	for _, l := range s.leases {
+		if l.snapshotStatus() == "running" {
+			active++
+		}
+	}
+	if active >= int64(s.maxLeases) {
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, CodeWorkerBusy,
+			"worker already holds %d running leases (limit %d); try another worker or retry later",
+			active, s.maxLeases)
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	lease := &workLease{
+		id:     lr.LeaseID,
+		cells:  lr.Cells,
+		status: "running",
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	lease.expire = time.AfterFunc(ttl, func() { s.expireLease(lease) })
+	s.leases[lr.LeaseID] = lease
+	s.leaseOrder = append(s.leaseOrder, lr.LeaseID)
+	s.mu.Unlock()
+	s.leasesAccepted.Add(1)
+
+	go s.runLease(ctx, lease, eng)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeLine(w, lease.snapshot())
+}
+
+// snapshotStatus reads the status under the lease lock.
+func (l *workLease) snapshotStatus() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.status
+}
+
+// expireLease is the TTL path: cancel execution, drop the lease state and
+// count it. A lease that finished collection just before the timer fired is
+// already gone from the map and is not double-counted.
+func (s *Server) expireLease(lease *workLease) {
+	s.mu.Lock()
+	if _, ok := s.leases[lease.id]; !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.leases, lease.id)
+	s.mu.Unlock()
+	lease.mu.Lock()
+	if lease.status == "running" || lease.status == "done" {
+		lease.status = "expired"
+	}
+	lease.mu.Unlock()
+	lease.cancel()
+	s.leasesExpired.Add(1)
+}
+
+// runLease executes the lease's cells through the per-lease engine and
+// stores the results (in cell order) plus the reference profiles this lease
+// needed, filtered from the shared cache by key so unrelated traffic never
+// leaks into a coordinator's store.
+func (s *Server) runLease(ctx context.Context, lease *workLease, eng *smtmlp.Engine) {
+	defer close(lease.done)
+	defer lease.cancel()
+	reqs := make([]smtmlp.Request, len(lease.cells))
+	for i, c := range lease.cells {
+		reqs[i] = c.Request
+	}
+	results := make([]WorkResult, len(lease.cells))
+	canceled := false
+	for br := range eng.RunBatch(ctx, reqs) {
+		wr := WorkResult{Fingerprint: lease.cells[br.Index].Fingerprint, Request: br.Request}
+		switch {
+		case br.Err != nil && errors.Is(br.Err, smtmlp.ErrCanceled):
+			canceled = true
+		case br.Err != nil:
+			// A deterministic per-cell failure: report it as data, not as a
+			// lease failure — the coordinator skips it exactly like local
+			// execution does.
+			wr.Error = br.Err.Error()
+			lease.mu.Lock()
+			lease.failed++
+			lease.mu.Unlock()
+			s.cellsFailed.Add(1)
+		default:
+			res := br.Result
+			wr.Result = &res
+			lease.mu.Lock()
+			lease.executed++
+			lease.mu.Unlock()
+			s.cellsExecuted.Add(1)
+		}
+		results[br.Index] = wr
+	}
+
+	lease.mu.Lock()
+	defer lease.mu.Unlock()
+	if canceled {
+		if lease.status == "running" {
+			lease.status = "canceled"
+		}
+		return
+	}
+	lease.results = results
+	lease.refs = leaseRefs(eng, lease.cells)
+	if lease.status == "running" {
+		lease.status = "done"
+	}
+}
+
+// leaseRefs exports the single-threaded reference profiles the lease's cells
+// depend on — and only those. The shared cache may hold profiles from other
+// traffic (other budgets, other configs); filtering by the exact reference
+// keys keeps a coordinator's merged refs snapshot byte-identical to what
+// single-node execution of the same spec would have persisted.
+func leaseRefs(eng *smtmlp.Engine, cells []WorkCell) []smtmlp.RefProfile {
+	want := make(map[string]bool)
+	for _, c := range cells {
+		for _, b := range c.Request.Workload.Benchmarks {
+			want[sim.RefKey(c.Request.Config, b, eng.Instructions(), eng.Warmup())] = true
+		}
+	}
+	var out []smtmlp.RefProfile
+	for _, rec := range eng.Cache().Export() { // Export is sorted by key
+		if want[rec.Key] {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// handleWorkComplete long-polls one lease and, once it is done, hands the
+// results (and lease-scoped reference profiles) to the coordinator and
+// forgets the lease.
+func (s *Server) handleWorkComplete(w http.ResponseWriter, r *http.Request) {
+	var cr CompleteRequest
+	if !decodeBody(w, r, &cr) {
+		return
+	}
+	if cr.LeaseID == "" {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "complete has no lease_id")
+		return
+	}
+	s.mu.Lock()
+	lease, ok := s.leases[cr.LeaseID]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownLease,
+			"no lease %q on this worker (completed, expired, or never delivered here)", cr.LeaseID)
+		return
+	}
+
+	if wait := time.Duration(cr.WaitMillis) * time.Millisecond; wait > 0 {
+		if wait > maxCompleteWait {
+			wait = maxCompleteWait
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-lease.done:
+		case <-timer.C:
+		case <-r.Context().Done():
+		}
+		timer.Stop()
+	}
+
+	lease.mu.Lock()
+	status := LeaseStatus{
+		LeaseID:  lease.id,
+		Status:   lease.status,
+		Total:    len(lease.cells),
+		Executed: lease.executed,
+		Failed:   lease.failed,
+	}
+	resp := CompleteResponse{Lease: status}
+	if status.Status == "done" {
+		resp.Results = lease.results
+		resp.Refs = lease.refs
+	}
+	lease.mu.Unlock()
+
+	if status.Status == "done" {
+		// Collected: the lease's job is over. Forget it so the slot frees up;
+		// if this response is lost on the wire, the coordinator re-leases the
+		// same cells and the store's dedupe-on-append absorbs the repeat.
+		s.mu.Lock()
+		if _, ok := s.leases[lease.id]; ok {
+			delete(s.leases, lease.id)
+			s.leasesCollected.Add(1)
+		}
+		s.mu.Unlock()
+		lease.expire.Stop()
+	}
+	writeJSON(w, resp)
+}
+
+// handleWorkList reports every lease the worker holds plus the lifetime
+// counters.
+func (s *Server) handleWorkList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	var held []*workLease
+	live := s.leaseOrder[:0]
+	for _, id := range s.leaseOrder {
+		if l, ok := s.leases[id]; ok {
+			held = append(held, l)
+			live = append(live, id)
+		}
+	}
+	s.leaseOrder = live // compact away collected/expired leases
+	s.mu.Unlock()
+	resp := WorkListResponse{Leases: []LeaseStatus{}, Metrics: s.workMetrics()}
+	for _, l := range held {
+		resp.Leases = append(resp.Leases, l.snapshot())
+	}
+	writeJSON(w, resp)
+}
+
+// workMetrics gathers the lease counters.
+func (s *Server) workMetrics() WorkMetrics {
+	s.mu.Lock()
+	active := int64(len(s.leases))
+	s.mu.Unlock()
+	return WorkMetrics{
+		LeasesAccepted:  s.leasesAccepted.Load(),
+		LeasesActive:    active,
+		LeasesCollected: s.leasesCollected.Load(),
+		LeasesExpired:   s.leasesExpired.Load(),
+		CellsExecuted:   s.cellsExecuted.Load(),
+		CellsFailed:     s.cellsFailed.Load(),
+	}
+}
+
+// DrainWork blocks until every lease execution goroutine has finished. Call
+// it during shutdown after canceling the base context: running leases
+// observe the cancellation and exit promptly.
+func (s *Server) DrainWork() {
+	s.mu.Lock()
+	held := make([]*workLease, 0, len(s.leases))
+	for _, l := range s.leases {
+		held = append(held, l)
+	}
+	s.mu.Unlock()
+	for _, l := range held {
+		<-l.done
+	}
+}

@@ -1,0 +1,303 @@
+// Tests for the /v1/work lease protocol: lifecycle (lease → execute →
+// long-poll collect → forget), idempotent re-delivery, validation, the
+// busy bound, TTL expiry, shutdown cancellation, and the lease-scoped
+// reference export that keeps fleet refs snapshots byte-identical to
+// single-node execution.
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"smtmlp"
+	"smtmlp/internal/server"
+)
+
+// leaseCells builds verified work cells for the given mixes under the given
+// budget (the fingerprint must be computed exactly as the worker will).
+func leaseCells(instructions, warmup uint64, mixes ...[]string) []server.WorkCell {
+	cells := make([]server.WorkCell, 0, 2*len(mixes))
+	for _, mix := range mixes {
+		for _, p := range []smtmlp.Policy{smtmlp.ICount, smtmlp.MLPFlush} {
+			req := smtmlp.Request{
+				Tag:      fmt.Sprintf("%s/%s", strings.Join(mix, "-"), p),
+				Config:   smtmlp.DefaultConfig(len(mix)),
+				Workload: smtmlp.Mix(mix...),
+				Policy:   p,
+			}
+			cells = append(cells, server.WorkCell{
+				Fingerprint: smtmlp.Fingerprint(req, instructions, warmup),
+				Request:     req,
+			})
+		}
+	}
+	return cells
+}
+
+// leaseBody marshals a LeaseRequest.
+func leaseBody(t *testing.T, lr server.LeaseRequest) string {
+	t.Helper()
+	b, err := json.Marshal(lr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// collect long-polls /v1/work/complete until the lease leaves "running".
+func collect(t *testing.T, srv http.Handler, leaseID string) server.CompleteResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var resp server.CompleteResponse
+		decodeInto(t, post(t, srv, "/v1/work/complete",
+			fmt.Sprintf(`{"lease_id":%q,"wait_ms":1000}`, leaseID)), &resp)
+		if resp.Lease.Status != "running" {
+			return resp
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lease %s still running after 30s", leaseID)
+		}
+	}
+}
+
+func TestWorkLeaseLifecycle(t *testing.T) {
+	srv := server.New(testEngine())
+	const instructions, warmup = 5_000, 1_000
+	cells := leaseCells(instructions, warmup, []string{"mcf", "galgel"}, []string{"swim", "twolf"})
+	body := leaseBody(t, server.LeaseRequest{
+		LeaseID: "l1", Instructions: instructions, Warmup: warmup, Cells: cells,
+	})
+
+	rec := post(t, srv, "/v1/work/lease", body)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("lease status %d, body %s", rec.Code, rec.Body)
+	}
+	var status server.LeaseStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.LeaseID != "l1" || status.Status != "running" || status.Total != len(cells) {
+		t.Fatalf("accepted lease %+v", status)
+	}
+
+	// Re-delivering the same lease is idempotent: acknowledged (200, not
+	// 202), not restarted.
+	rec = post(t, srv, "/v1/work/lease", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("re-delivery status %d, body %s", rec.Code, rec.Body)
+	}
+
+	resp := collect(t, srv, "l1")
+	if resp.Lease.Status != "done" || resp.Lease.Executed != len(cells) || resp.Lease.Failed != 0 {
+		t.Fatalf("collected lease %+v", resp.Lease)
+	}
+	if len(resp.Results) != len(cells) {
+		t.Fatalf("collected %d results, want %d", len(resp.Results), len(cells))
+	}
+	for i, wr := range resp.Results {
+		if wr.Fingerprint != cells[i].Fingerprint {
+			t.Fatalf("result %d out of cell order: %s", i, wr.Fingerprint)
+		}
+		if wr.Result == nil || wr.Error != "" || wr.Result.STP <= 0 {
+			t.Fatalf("result %d: %+v", i, wr)
+		}
+	}
+	// The lease needed references for its 4 distinct benchmarks, under the
+	// lease budget.
+	if len(resp.Refs) != 4 {
+		t.Fatalf("lease returned %d refs, want 4", len(resp.Refs))
+	}
+	for _, ref := range resp.Refs {
+		if !strings.Contains(ref.Key, fmt.Sprintf("i=%d", instructions)) {
+			t.Fatalf("ref key %q is not under the lease budget", ref.Key)
+		}
+	}
+
+	// Collection forgets the lease.
+	wantError(t, post(t, srv, "/v1/work/complete", `{"lease_id":"l1"}`),
+		http.StatusNotFound, server.CodeUnknownLease)
+	var list server.WorkListResponse
+	decodeInto(t, get(t, srv, "/v1/work"), &list)
+	if len(list.Leases) != 0 {
+		t.Fatalf("worker still lists %d leases after collection", len(list.Leases))
+	}
+	m := list.Metrics
+	if m.LeasesAccepted != 1 || m.LeasesCollected != 1 || m.LeasesActive != 0 ||
+		m.CellsExecuted != int64(len(cells)) || m.CellsFailed != 0 {
+		t.Fatalf("work metrics %+v", m)
+	}
+}
+
+func TestWorkLeaseValidation(t *testing.T) {
+	srv := server.New(testEngine(), server.WithMaxBatch(4))
+	const instructions, warmup = 5_000, 1_000
+	cells := leaseCells(instructions, warmup, []string{"mcf", "galgel"})
+	okLease := server.LeaseRequest{LeaseID: "v1", Instructions: instructions, Warmup: warmup, Cells: cells}
+
+	t.Run("missing lease_id", func(t *testing.T) {
+		lr := okLease
+		lr.LeaseID = ""
+		wantError(t, post(t, srv, "/v1/work/lease", leaseBody(t, lr)),
+			http.StatusBadRequest, server.CodeInvalidRequest)
+	})
+	t.Run("no cells", func(t *testing.T) {
+		lr := okLease
+		lr.Cells = nil
+		wantError(t, post(t, srv, "/v1/work/lease", leaseBody(t, lr)),
+			http.StatusBadRequest, server.CodeInvalidRequest)
+	})
+	t.Run("oversized lease", func(t *testing.T) {
+		lr := okLease
+		lr.Cells = leaseCells(instructions, warmup,
+			[]string{"mcf", "galgel"}, []string{"swim", "twolf"}, []string{"vortex", "parser"})
+		wantError(t, post(t, srv, "/v1/work/lease", leaseBody(t, lr)),
+			http.StatusBadRequest, server.CodeBatchTooLarge)
+	})
+	t.Run("unknown benchmark", func(t *testing.T) {
+		lr := okLease
+		bad := cells[0]
+		bad.Request.Workload = smtmlp.Mix("mcf", "nope")
+		lr.Cells = []server.WorkCell{bad}
+		wantError(t, post(t, srv, "/v1/work/lease", leaseBody(t, lr)),
+			http.StatusBadRequest, server.CodeUnknownBenchmark)
+	})
+	t.Run("fingerprint mismatch", func(t *testing.T) {
+		lr := okLease
+		bad := cells[0]
+		bad.Fingerprint = "not-the-fingerprint"
+		lr.Cells = []server.WorkCell{bad}
+		wantError(t, post(t, srv, "/v1/work/lease", leaseBody(t, lr)),
+			http.StatusBadRequest, server.CodeInvalidRequest)
+	})
+	t.Run("budget mismatch changes fingerprint", func(t *testing.T) {
+		// The same cells delivered under a different budget must be
+		// rejected: the fingerprint pins the budget.
+		lr := okLease
+		lr.Instructions = 9_999
+		wantError(t, post(t, srv, "/v1/work/lease", leaseBody(t, lr)),
+			http.StatusBadRequest, server.CodeInvalidRequest)
+	})
+	t.Run("complete without lease_id", func(t *testing.T) {
+		wantError(t, post(t, srv, "/v1/work/complete", `{}`),
+			http.StatusBadRequest, server.CodeInvalidRequest)
+	})
+	t.Run("complete unknown lease", func(t *testing.T) {
+		wantError(t, post(t, srv, "/v1/work/complete", `{"lease_id":"never-sent"}`),
+			http.StatusNotFound, server.CodeUnknownLease)
+	})
+}
+
+func TestWorkerBusyBound(t *testing.T) {
+	// A deliberately slow engine (large budget, serial) so the first lease
+	// is still running when the second arrives.
+	srv := server.New(testEngine(smtmlp.WithParallelism(1)), server.WithMaxLeases(1))
+	const instructions, warmup = 200_000, 50_000
+	mixes := [][]string{{"mcf", "galgel"}, {"swim", "twolf"}}
+	lr := server.LeaseRequest{
+		LeaseID: "busy1", Instructions: instructions, Warmup: warmup,
+		Cells: leaseCells(instructions, warmup, mixes...),
+	}
+	if rec := post(t, srv, "/v1/work/lease", leaseBody(t, lr)); rec.Code != http.StatusAccepted {
+		t.Fatalf("first lease status %d", rec.Code)
+	}
+	lr.LeaseID = "busy2"
+	wantError(t, post(t, srv, "/v1/work/lease", leaseBody(t, lr)),
+		http.StatusTooManyRequests, server.CodeWorkerBusy)
+
+	// Collecting the first lease frees the slot.
+	if resp := collect(t, srv, "busy1"); resp.Lease.Status != "done" {
+		t.Fatalf("first lease %+v", resp.Lease)
+	}
+	if rec := post(t, srv, "/v1/work/lease", leaseBody(t, lr)); rec.Code != http.StatusAccepted {
+		t.Fatalf("post-collection lease status %d, body %s", rec.Code, rec.Body)
+	}
+	collect(t, srv, "busy2")
+}
+
+func TestWorkLeaseExpiry(t *testing.T) {
+	srv := server.New(testEngine(), server.WithLeaseTTL(30*time.Millisecond))
+	const instructions, warmup = 5_000, 1_000
+	lr := server.LeaseRequest{
+		LeaseID: "exp1", Instructions: instructions, Warmup: warmup,
+		Cells: leaseCells(instructions, warmup, []string{"mcf", "galgel"}),
+	}
+	if rec := post(t, srv, "/v1/work/lease", leaseBody(t, lr)); rec.Code != http.StatusAccepted {
+		t.Fatalf("lease status %d", rec.Code)
+	}
+	// Never collect: the TTL must cancel and forget the lease.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rec := post(t, srv, "/v1/work/complete", `{"lease_id":"exp1"}`)
+		if rec.Code == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lease never expired; last status %d %s", rec.Code, rec.Body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var list server.WorkListResponse
+	decodeInto(t, get(t, srv, "/v1/work"), &list)
+	if list.Metrics.LeasesExpired != 1 || list.Metrics.LeasesActive != 0 {
+		t.Fatalf("expiry metrics %+v", list.Metrics)
+	}
+	srv.DrainWork()
+}
+
+func TestWorkLeaseCanceledOnShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := server.New(testEngine(smtmlp.WithParallelism(1)), server.WithBaseContext(ctx))
+	const instructions, warmup = 500_000, 100_000
+	lr := server.LeaseRequest{
+		LeaseID: "shut1", Instructions: instructions, Warmup: warmup,
+		Cells: leaseCells(instructions, warmup, []string{"mcf", "galgel"}, []string{"swim", "twolf"}),
+	}
+	if rec := post(t, srv, "/v1/work/lease", leaseBody(t, lr)); rec.Code != http.StatusAccepted {
+		t.Fatalf("lease status %d", rec.Code)
+	}
+	cancel()
+	srv.DrainWork() // must return promptly once the base context is canceled
+
+	var resp server.CompleteResponse
+	decodeInto(t, post(t, srv, "/v1/work/complete", `{"lease_id":"shut1","wait_ms":2000}`), &resp)
+	if resp.Lease.Status != "canceled" || resp.Results != nil {
+		t.Fatalf("post-shutdown lease %+v with %d results", resp.Lease, len(resp.Results))
+	}
+}
+
+// TestWorkLeaseRefsAreScoped pins the refs filter: traffic at another budget
+// (here, /v1/run on the service engine) must not leak into a lease's
+// reference export, or a fleet coordinator's refs snapshot would diverge
+// from single-node execution.
+func TestWorkLeaseRefsAreScoped(t *testing.T) {
+	srv := server.New(testEngine()) // service engine budget: 6000/1500
+	rec := post(t, srv, "/v1/run", `{"benchmarks":["vortex","parser"],"policy":"icount"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm-up run status %d", rec.Code)
+	}
+
+	const instructions, warmup = 5_000, 1_000 // lease budget: a different key space
+	lr := server.LeaseRequest{
+		LeaseID: "refs1", Instructions: instructions, Warmup: warmup,
+		Cells: leaseCells(instructions, warmup, []string{"mcf", "galgel"}),
+	}
+	if rec := post(t, srv, "/v1/work/lease", leaseBody(t, lr)); rec.Code != http.StatusAccepted {
+		t.Fatalf("lease status %d", rec.Code)
+	}
+	resp := collect(t, srv, "refs1")
+	if len(resp.Refs) != 2 {
+		t.Fatalf("lease exported %d refs, want exactly its own 2", len(resp.Refs))
+	}
+	for _, ref := range resp.Refs {
+		if strings.Contains(ref.Key, "i=6000") || strings.Contains(ref.Key, "vortex") ||
+			strings.Contains(ref.Key, "parser") {
+			t.Fatalf("foreign ref leaked into the lease export: %q", ref.Key)
+		}
+	}
+}

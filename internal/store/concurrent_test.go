@@ -1,0 +1,260 @@
+// Concurrency suite for the fleet merge path: many goroutines hammering
+// Append/AppendBatch with overlapping fingerprints (the shape of duplicate
+// leases and retried chunks converging on one store), interleaved with a
+// torn-tail crash/recovery cycle. Run under -race these tests also pin the
+// locking discipline.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"smtmlp"
+)
+
+// synthRec builds a synthetic record with a caller-chosen fingerprint; the
+// store treats fingerprints as opaque content addresses, so tests can mint
+// as many distinct (or deliberately colliding) keys as they need.
+func synthRec(fp string) Record {
+	return Record{
+		Fingerprint: fp,
+		Request: smtmlp.Request{
+			Tag:      fp,
+			Config:   smtmlp.DefaultConfig(2),
+			Workload: smtmlp.Mix("mcf", "twolf"),
+			Policy:   smtmlp.ICount,
+		},
+		Result: smtmlp.WorkloadResult{Policy: "icount", STP: 1.0, ANTT: 1.5},
+	}
+}
+
+// checkConsistent asserts the invariants the fleet merge path depends on:
+// the on-disk NDJSON has exactly one valid line per fingerprint, in the same
+// order as the in-memory Records, and the index resolves every record.
+func checkConsistent(t *testing.T, st *Store) {
+	t.Helper()
+	recs := st.Records()
+	data, err := os.ReadFile(filepath.Join(st.Dir(), resultsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(data, []byte{'\n'}), []byte{'\n'})
+	if len(data) == 0 {
+		lines = nil
+	}
+	if len(lines) != len(recs) {
+		t.Fatalf("disk has %d lines, memory has %d records", len(lines), len(recs))
+	}
+	seen := make(map[string]bool, len(lines))
+	for i, line := range lines {
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i, err)
+		}
+		if rec.Fingerprint != recs[i].Fingerprint {
+			t.Fatalf("line %d: disk fp %s, memory fp %s", i, rec.Fingerprint, recs[i].Fingerprint)
+		}
+		if seen[rec.Fingerprint] {
+			t.Fatalf("fingerprint %s written twice", rec.Fingerprint)
+		}
+		seen[rec.Fingerprint] = true
+		if got, ok := st.Get(rec.Fingerprint); !ok || got.Fingerprint != rec.Fingerprint {
+			t.Fatalf("index lost %s", rec.Fingerprint)
+		}
+	}
+}
+
+// TestStoreConcurrentAppendOverlap hammers the store from many goroutines
+// that all try to persist the same key space — half through single Append,
+// half through AppendBatch chunks — and asserts exactly one copy of each
+// record survives, on disk and in memory, with the dedupe counter absorbing
+// everything else.
+func TestStoreConcurrentAppendOverlap(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const keys, writers = 200, 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w%2 == 0 {
+				// Single appends, each writer in a different key order.
+				for i := 0; i < keys; i++ {
+					k := (i*7 + w*13) % keys
+					if _, err := st.Append(synthRec(fmt.Sprintf("fp-%03d", k))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				return
+			}
+			// Batch appends in overlapping chunks (the lease merge shape).
+			for lo := 0; lo < keys; lo += 16 {
+				batch := make([]Record, 0, 24)
+				for i := lo; i < lo+24 && i < keys; i++ {
+					batch = append(batch, synthRec(fmt.Sprintf("fp-%03d", i)))
+				}
+				if _, err := st.AppendBatch(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if st.Len() != keys {
+		t.Fatalf("store holds %d records, want %d", st.Len(), keys)
+	}
+	checkConsistent(t, st)
+	m := st.Metrics()
+	if m.Results != keys || m.AppendsTotal != keys {
+		t.Fatalf("metrics %+v, want %d results/appends", m, keys)
+	}
+	if m.DedupeHits == 0 {
+		t.Fatalf("metrics %+v: overlapping writers produced no dedupe hits", m)
+	}
+}
+
+// TestStoreConcurrentWritesWithTornTailRecovery interleaves the concurrent
+// merge path with a crash: hammer, crash with a torn trailing line, reopen
+// (recovery must keep every complete record), then hammer again with an
+// overlapping key set and verify the final store from a cold Open.
+func TestStoreConcurrentWritesWithTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hammer := func(st *Store, lo, hi int) {
+		var wg sync.WaitGroup
+		for w := 0; w < 6; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					var err error
+					if w%2 == 0 {
+						_, err = st.Append(synthRec(fmt.Sprintf("fp-%03d", i)))
+					} else {
+						_, err = st.AppendBatch([]Record{synthRec(fmt.Sprintf("fp-%03d", i))})
+					}
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	hammer(st, 0, 80)
+	if st.Len() != 80 {
+		t.Fatalf("phase 1 left %d records, want 80", st.Len())
+	}
+	// Crash: the process dies mid-append, leaving a torn (newline-less)
+	// trailing fragment. Close the handle first so the torn bytes land after
+	// everything the store wrote.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, resultsFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"fp":"fp-torn","request":`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	defer st2.Close()
+	if st2.Len() != 80 || st2.Has("fp-torn") {
+		t.Fatalf("recovery kept %d records (torn present: %v), want 80 complete ones",
+			st2.Len(), st2.Has("fp-torn"))
+	}
+
+	// Phase 2 overlaps phase 1 (keys 40..119): the first half must dedupe
+	// against the recovered log, the second half must append cleanly after
+	// the truncation point.
+	hammer(st2, 40, 120)
+	if st2.Len() != 120 {
+		t.Fatalf("phase 2 left %d records, want 120", st2.Len())
+	}
+	checkConsistent(t, st2)
+	if m := st2.Metrics(); m.AppendsTotal != 40 || m.DedupeHits == 0 {
+		t.Fatalf("post-recovery metrics %+v, want 40 fresh appends and some dedupe hits", m)
+	}
+}
+
+// TestAppendBatchSemantics pins the batch commit contract: intra-batch
+// duplicates collapse to the first occurrence, a record without a
+// fingerprint rejects the whole batch without mutating anything, and the
+// added count reflects only fresh records.
+func TestAppendBatchSemantics(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	added, err := st.AppendBatch([]Record{synthRec("a"), synthRec("b"), synthRec("a")})
+	if err != nil || added != 2 {
+		t.Fatalf("first batch: added=%d err=%v, want 2", added, err)
+	}
+	// Overlap with the store plus one fresh record.
+	added, err = st.AppendBatch([]Record{synthRec("b"), synthRec("c")})
+	if err != nil || added != 1 {
+		t.Fatalf("second batch: added=%d err=%v, want 1", added, err)
+	}
+	// A bad record rejects the whole batch atomically.
+	if _, err := st.AppendBatch([]Record{synthRec("d"), {}}); err == nil {
+		t.Fatal("batch with a fingerprint-less record was accepted")
+	}
+	if st.Len() != 3 || st.Has("d") {
+		t.Fatalf("failed batch mutated the store: len=%d has(d)=%v", st.Len(), st.Has("d"))
+	}
+	// An all-duplicate batch is a no-op that still counts dedupe hits.
+	added, err = st.AppendBatch([]Record{synthRec("a"), synthRec("c")})
+	if err != nil || added != 0 {
+		t.Fatalf("duplicate batch: added=%d err=%v", added, err)
+	}
+	checkConsistent(t, st)
+	if m := st.Metrics(); m.AppendsTotal != 3 || m.DedupeHits != 4 {
+		t.Fatalf("metrics %+v, want 3 appends and 4 dedupe hits", m)
+	}
+}
+
+// TestStoreMetricsRefsAge pins the refs snapshot age gauge: -1 before any
+// snapshot exists, non-negative once MergeRefs has written one.
+func TestStoreMetricsRefsAge(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if m := st.Metrics(); m.RefsSnapshotAgeSeconds != -1 || m.Refs != 0 {
+		t.Fatalf("fresh store metrics %+v", m)
+	}
+	if _, err := st.MergeRefs([]smtmlp.RefProfile{{Key: "k1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if m := st.Metrics(); m.RefsSnapshotAgeSeconds < 0 || m.Refs != 1 {
+		t.Fatalf("post-merge metrics %+v, want a non-negative snapshot age and 1 ref", m)
+	}
+}

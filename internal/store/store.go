@@ -36,6 +36,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"smtmlp"
 	"smtmlp/internal/sim"
@@ -59,6 +60,13 @@ type Store struct {
 	index   map[string]int // fingerprint -> position in records
 	records []Record       // append order
 	refs    map[string]sim.RefRecord
+
+	// Convergence counters since Open (not persisted): appends that wrote a
+	// line, and appends rejected because the fingerprint was already present.
+	// Under fleet execution the dedupe count is the number of duplicate
+	// results (retries, hedged leases) the store absorbed.
+	appends    int64
+	dedupeHits int64
 }
 
 const (
@@ -198,6 +206,7 @@ func (s *Store) Append(rec Record) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.index[rec.Fingerprint]; dup {
+		s.dedupeHits++
 		return false, nil
 	}
 	if _, err := s.results.Write(line); err != nil {
@@ -205,7 +214,95 @@ func (s *Store) Append(rec Record) (bool, error) {
 	}
 	s.index[rec.Fingerprint] = len(s.records)
 	s.records = append(s.records, rec)
+	s.appends++
 	return true, nil
+}
+
+// AppendBatch persists recs in order under one lock acquisition, skipping
+// fingerprints already present (including duplicates within recs itself —
+// the first occurrence wins). All new lines are committed with a single
+// write, so a crash mid-batch leaves complete leading lines plus at most one
+// torn final line, exactly the shape Open recovers from. It returns the
+// number of records actually added.
+//
+// This is the fleet merge path: a coordinator commits a whole lease of
+// results atomically with respect to concurrent appenders, so interleaved
+// lease merges never interleave *within* a lease.
+func (s *Store) AppendBatch(recs []Record) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Validate and marshal everything before mutating any state, so a bad
+	// record leaves both the file and the in-memory index untouched.
+	var buf bytes.Buffer
+	fresh := make([]Record, 0, len(recs))
+	dups := int64(0)
+	inBatch := make(map[string]bool, len(recs))
+	for _, rec := range recs {
+		if rec.Fingerprint == "" {
+			return 0, fmt.Errorf("store: record without fingerprint")
+		}
+		if _, dup := s.index[rec.Fingerprint]; dup || inBatch[rec.Fingerprint] {
+			dups++
+			continue
+		}
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+		inBatch[rec.Fingerprint] = true
+		fresh = append(fresh, rec)
+	}
+	s.dedupeHits += dups
+	if len(fresh) == 0 {
+		return 0, nil
+	}
+	if _, err := s.results.Write(buf.Bytes()); err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	for _, rec := range fresh {
+		s.index[rec.Fingerprint] = len(s.records)
+		s.records = append(s.records, rec)
+	}
+	s.appends += int64(len(fresh))
+	return len(fresh), nil
+}
+
+// Metrics is a point-in-time observability snapshot of the store, exposed by
+// the service's /metrics endpoint so fleet convergence is visible per worker
+// and per coordinator.
+type Metrics struct {
+	// Results is the number of persisted results; Refs the number of
+	// persisted reference profiles.
+	Results int `json:"results"`
+	Refs    int `json:"refs"`
+	// AppendsTotal counts results written since Open; DedupeHits counts
+	// appends absorbed as duplicates (fleet retries and hedged leases land
+	// here).
+	AppendsTotal int64 `json:"appends_total"`
+	DedupeHits   int64 `json:"dedupe_hits"`
+	// RefsSnapshotAgeSeconds is the age of the refs.ndjson snapshot on disk
+	// (-1 when no snapshot has been written yet).
+	RefsSnapshotAgeSeconds float64 `json:"refs_snapshot_age_seconds"`
+}
+
+// Metrics reports the store's observability counters.
+func (s *Store) Metrics() Metrics {
+	s.mu.Lock()
+	m := Metrics{
+		Results:                len(s.records),
+		Refs:                   len(s.refs),
+		AppendsTotal:           s.appends,
+		DedupeHits:             s.dedupeHits,
+		RefsSnapshotAgeSeconds: -1,
+	}
+	dir := s.dir
+	s.mu.Unlock()
+	if fi, err := os.Stat(filepath.Join(dir, refsFile)); err == nil {
+		m.RefsSnapshotAgeSeconds = time.Since(fi.ModTime()).Seconds()
+	}
+	return m
 }
 
 // Records returns all persisted results in append order.

@@ -1,14 +1,18 @@
 // Machine-readable performance snapshot: TestPerfSnapshot runs a fixed set
 // of representative workloads and writes per-workload wall time and
-// simulator throughput to the path given by -perf-out (CI writes BENCH_5.json
-// and uploads it as an artifact, so the perf trajectory accumulates across
-// PRs). Without -perf-out the test skips; it never asserts on timing, so it
-// cannot flake on a loaded machine.
+// simulator throughput to the path given by -perf-out. The committed
+// baseline is BENCH_6.json; CI regenerates a fresh snapshot and compares it
+// against that baseline with -perf-baseline, which asserts only on the
+// deterministic simulator outputs (cycles, committed instructions — drift
+// there is a behavior change, so regenerate the baseline deliberately) and
+// prints wall-time ratios as information. Timing is never asserted, so the
+// test cannot flake on a loaded machine. Without -perf-out the test skips.
 package smtmlp_test
 
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"testing"
 	"time"
@@ -16,7 +20,10 @@ import (
 	"smtmlp"
 )
 
-var perfOut = flag.String("perf-out", "", "write the perf snapshot JSON (e.g. BENCH_5.json) to this path")
+var (
+	perfOut      = flag.String("perf-out", "", "write the perf snapshot JSON (e.g. BENCH_6.json) to this path")
+	perfBaseline = flag.String("perf-baseline", "", "committed snapshot to compare against (e.g. BENCH_6.json)")
+)
 
 // perfEntry is one measured workload.
 type perfEntry struct {
@@ -101,4 +108,54 @@ func TestPerfSnapshot(t *testing.T) {
 	}
 	t.Logf("perf snapshot (%d workloads, %.2fs total) written to %s",
 		len(snap.Workloads), snap.TotalSeconds, *perfOut)
+
+	if *perfBaseline != "" {
+		comparePerf(t, snap, *perfBaseline)
+	}
+}
+
+// comparePerf checks the fresh snapshot against the committed baseline. The
+// simulator outputs (cycles, committed instructions) are deterministic, so
+// any difference is a behavior change that must be accompanied by a
+// deliberate baseline regeneration; wall-time ratios are printed (via fmt,
+// so they appear without -v) but never asserted.
+func comparePerf(t *testing.T, snap perfSnapshot, baselinePath string) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatalf("reading perf baseline: %v", err)
+	}
+	var base perfSnapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("decoding perf baseline %s: %v", baselinePath, err)
+	}
+	if base.Schema != snap.Schema || base.Budget != snap.Budget || base.Warmup != snap.Warmup {
+		t.Fatalf("baseline %s measures schema=%q budget=%d warmup=%d; this test measures schema=%q budget=%d warmup=%d — regenerate it with -perf-out",
+			baselinePath, base.Schema, base.Budget, base.Warmup, snap.Schema, snap.Budget, snap.Warmup)
+	}
+	byKey := make(map[string]perfEntry, len(base.Workloads))
+	for _, e := range base.Workloads {
+		byKey[e.Workload+"/"+e.Policy] = e
+	}
+	fmt.Printf("perf vs %s:\n", baselinePath)
+	for _, e := range snap.Workloads {
+		b, ok := byKey[e.Workload+"/"+e.Policy]
+		if !ok {
+			t.Errorf("workload %s/%s missing from baseline %s — regenerate it with -perf-out", e.Workload, e.Policy, baselinePath)
+			continue
+		}
+		if b.Cycles != e.Cycles || b.Instructions != e.Instructions {
+			t.Errorf("%s/%s simulates cycles=%d instructions=%d, baseline has cycles=%d instructions=%d — simulator behavior changed; regenerate %s deliberately",
+				e.Workload, e.Policy, e.Cycles, e.Instructions, b.Cycles, b.Instructions, baselinePath)
+		}
+		ratio := 0.0
+		if e.Seconds > 0 {
+			ratio = b.Seconds / e.Seconds
+		}
+		fmt.Printf("  %-32s %-9s %7.3fs (baseline %7.3fs, speedup x%.2f)\n",
+			e.Workload, e.Policy, e.Seconds, b.Seconds, ratio)
+	}
+	if snap.TotalSeconds > 0 {
+		fmt.Printf("  total %.3fs (baseline %.3fs, speedup x%.2f)\n",
+			snap.TotalSeconds, base.TotalSeconds, base.TotalSeconds/snap.TotalSeconds)
+	}
 }
