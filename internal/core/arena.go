@@ -1,0 +1,246 @@
+package core
+
+import "math/bits"
+
+// This file implements the allocation-free hot structures of the cycle
+// kernel: a pooled uop arena with generation-tagged slots, the done-bit
+// scoreboard that replaces per-uop dependent pointer lists (bitmap wakeup),
+// the UopSet bitmap that replaces the fetch policies' map-based gate sets,
+// and the fixed-capacity ring buffers backing the per-thread ROB and
+// front-end queues.
+//
+// Lifecycle invariants (see DESIGN.md "Cycle kernel internals"):
+//
+//   - A uop is allocated at fetch and released when it reaches a terminal
+//     state (committed or squashed) with no remaining references. References
+//     are pending events in the core's time queue plus issue-queue residency;
+//     Core.freeIfDead is the single release point.
+//   - Slot reuse bumps the slot's generation, so stale (index, generation)
+//     pairs held by consumers resolve as "producer long gone" — which always
+//     means "source ready", because a producer is only released after it
+//     completed or after its consumers were squashed with it.
+//   - Policies must drop a uop from their UopSets no later than the
+//     OnLoadComplete/OnSquash hook for it; both hooks run before the uop can
+//     be released, so a set never holds a recycled index.
+
+// arenaBlockShift sizes the arena's allocation blocks (256 uops per block).
+// Blocks are never reallocated, so *Uop pointers stay valid for the life of
+// the core while the arena can still grow when flush-heavy phases keep many
+// squashed uops alive awaiting their completion events.
+const (
+	arenaBlockShift = 8
+	arenaBlockSize  = 1 << arenaBlockShift
+	arenaBlockMask  = arenaBlockSize - 1
+)
+
+// uopArena is a pooled allocator for Uops. Steady-state simulation allocates
+// nothing: slots recycle through a LIFO free list (hottest slot first, which
+// keeps the working set small).
+type uopArena struct {
+	blocks [][]Uop  // fixed-size blocks; pointers into them are stable
+	gen    []uint32 // per-slot generation, bumped on every alloc
+	done   []uint64 // scoreboard bitmap: slot's uop is done or squashed
+	free   []int32  // LIFO free list of slot indices
+
+	allocated uint64 // lifetime allocs (tests assert pooling works)
+}
+
+// newUopArena returns an arena with at least capacity slots.
+func newUopArena(capacity int) *uopArena {
+	a := &uopArena{}
+	nblocks := (capacity + arenaBlockSize - 1) >> arenaBlockShift
+	if nblocks < 1 {
+		nblocks = 1
+	}
+	for i := 0; i < nblocks; i++ {
+		a.grow()
+	}
+	return a
+}
+
+// grow adds one block of slots to the free list.
+func (a *uopArena) grow() {
+	base := int32(len(a.blocks) << arenaBlockShift)
+	a.blocks = append(a.blocks, make([]Uop, arenaBlockSize))
+	a.gen = append(a.gen, make([]uint32, arenaBlockSize)...)
+	a.done = append(a.done, make([]uint64, arenaBlockSize/64)...)
+	// Push in reverse so the lowest index pops first.
+	for i := arenaBlockSize - 1; i >= 0; i-- {
+		a.free = append(a.free, base+int32(i))
+	}
+}
+
+// cap returns the number of slots in the arena.
+func (a *uopArena) cap() int { return len(a.blocks) << arenaBlockShift }
+
+// live returns the number of slots currently allocated.
+func (a *uopArena) live() int { return a.cap() - len(a.free) }
+
+// at resolves a slot index to its uop.
+func (a *uopArena) at(idx int32) *Uop {
+	return &a.blocks[idx>>arenaBlockShift][idx&arenaBlockMask]
+}
+
+// alloc returns a fresh uop with every field zeroed, both sources ready and
+// a new generation. Amortized allocation-free: it only grows the backing
+// store when more uops are in flight than ever before.
+func (a *uopArena) alloc() *Uop {
+	if len(a.free) == 0 {
+		a.grow()
+	}
+	idx := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	u := a.at(idx)
+	*u = Uop{arenaIdx: idx, src1Prod: -1, src2Prod: -1}
+	a.gen[idx]++
+	a.done[idx>>6] &^= 1 << (uint(idx) & 63)
+	a.allocated++
+	return u
+}
+
+// release returns u's slot to the free list. The slot's contents are left in
+// place (they hold no pointers) until reuse, so in-flight checks like
+// Uop.Squashed keep answering correctly for the rest of the current stage.
+func (a *uopArena) release(u *Uop) {
+	a.free = append(a.free, u.arenaIdx)
+}
+
+// markDone sets u's scoreboard bit: u will never produce a value later than
+// now, so any consumer registered against u's slot and generation is ready.
+func (a *uopArena) markDone(u *Uop) {
+	a.done[u.arenaIdx>>6] |= 1 << (uint(u.arenaIdx) & 63)
+}
+
+// srcReady reports whether the producer registered as (idx, gen) can no
+// longer delay a consumer: either its slot was recycled (the producer
+// completed or was squashed along with its consumers) or its done bit is set.
+func (a *uopArena) srcReady(idx int32, gen uint32) bool {
+	return a.gen[idx] != gen || a.done[idx>>6]&(1<<(uint(idx)&63)) != 0
+}
+
+// UopSet is a bitmap set of in-flight uops keyed by arena slot, the
+// allocation-free replacement for the map[*Uop]struct{} tracking sets fetch
+// policies keep. Add/Remove/Contains are O(1) word operations.
+//
+// A set must only hold uops that are still alive: policies remove a uop no
+// later than its OnLoadComplete or OnSquash hook (both run before the slot
+// can be recycled). Add must not be called during ForEach.
+type UopSet struct {
+	a     *uopArena
+	words []uint64
+	n     int
+}
+
+// NewUopSet returns an empty set over the core's uop arena. Policies create
+// their sets in Attach.
+func (c *Core) NewUopSet() UopSet {
+	return UopSet{a: c.arena, words: make([]uint64, (c.arena.cap()+63)/64)}
+}
+
+// ensure grows the word array to cover slot idx (the arena can grow mid-run).
+func (s *UopSet) ensure(idx int32) {
+	for int(idx>>6) >= len(s.words) {
+		s.words = append(s.words, 0)
+	}
+}
+
+// Add inserts u. Adding a member again is a no-op.
+func (s *UopSet) Add(u *Uop) {
+	idx := u.arenaIdx
+	s.ensure(idx)
+	w, b := idx>>6, uint64(1)<<(uint(idx)&63)
+	if s.words[w]&b == 0 {
+		s.words[w] |= b
+		s.n++
+	}
+}
+
+// Remove deletes u. Removing a non-member is a no-op.
+func (s *UopSet) Remove(u *Uop) {
+	idx := u.arenaIdx
+	if int(idx>>6) >= len(s.words) {
+		return
+	}
+	w, b := idx>>6, uint64(1)<<(uint(idx)&63)
+	if s.words[w]&b != 0 {
+		s.words[w] &^= b
+		s.n--
+	}
+}
+
+// Contains reports membership.
+func (s *UopSet) Contains(u *Uop) bool {
+	idx := u.arenaIdx
+	if int(idx>>6) >= len(s.words) {
+		return false
+	}
+	return s.words[idx>>6]&(1<<(uint(idx)&63)) != 0
+}
+
+// Len returns the number of members.
+func (s *UopSet) Len() int { return s.n }
+
+// ForEach calls fn for every member in ascending slot order. fn may Remove
+// members (including the current one) but must not Add.
+func (s *UopSet) ForEach(fn func(u *Uop)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << uint(b)
+			fn(s.a.at(int32(wi<<6 + b)))
+		}
+	}
+}
+
+// uopRing is a fixed-capacity FIFO of uops with O(1) operations at both
+// ends, backing the per-thread ROB and front-end queue. Capacity is rounded
+// up to a power of two; exceeding it is a kernel bug (the dispatch and fetch
+// stages enforce the architectural bounds), so push panics rather than grow.
+type uopRing struct {
+	buf  []*Uop
+	head int
+	n    int
+	mask int
+}
+
+// newUopRing returns a ring holding at least capacity uops.
+func newUopRing(capacity int) uopRing {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return uopRing{buf: make([]*Uop, size), mask: size - 1}
+}
+
+func (r *uopRing) len() int      { return r.n }
+func (r *uopRing) empty() bool   { return r.n == 0 }
+func (r *uopRing) front() *Uop   { return r.buf[r.head] }
+func (r *uopRing) back() *Uop    { return r.buf[(r.head+r.n-1)&r.mask] }
+func (r *uopRing) at(i int) *Uop { return r.buf[(r.head+i)&r.mask] }
+
+func (r *uopRing) pushBack(u *Uop) {
+	if r.n > r.mask {
+		panic("core: ring buffer overflow")
+	}
+	r.buf[(r.head+r.n)&r.mask] = u
+	r.n++
+}
+
+// popFront removes and returns the oldest entry, zeroing the vacated slot so
+// the backing array never retains a released uop.
+func (r *uopRing) popFront() *Uop {
+	u := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & r.mask
+	r.n--
+	return u
+}
+
+// popBack removes and returns the youngest entry, zeroing the vacated slot.
+func (r *uopRing) popBack() *Uop {
+	i := (r.head + r.n - 1) & r.mask
+	u := r.buf[i]
+	r.buf[i] = nil
+	r.n--
+	return u
+}

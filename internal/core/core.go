@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"smtmlp/internal/bpred"
 	"smtmlp/internal/isa"
@@ -18,8 +17,8 @@ type thread struct {
 	bp     *bpred.Predictor
 	mlp    *MLPState
 
-	feq []*Uop // fetched, waiting out the front-end delay
-	rob []*Uop // dispatched, not committed, oldest first
+	feq uopRing // fetched, waiting out the front-end delay
+	rob uopRing // dispatched, not committed, oldest first
 
 	renameMap [128]*Uop // architectural register -> youngest in-flight writer
 
@@ -40,7 +39,8 @@ type thread struct {
 	wbBlocked     uint64
 	robOccAccum   int64 // integral of robCount over cycles
 
-	profile []ProfilePoint
+	profile     []ProfilePoint
+	profileLeft uint64 // commits until the next profile checkpoint
 }
 
 // ProfilePoint records cumulative cycles at an instruction-count checkpoint,
@@ -51,6 +51,13 @@ type ProfilePoint struct {
 	Cycles       int64
 }
 
+// fetchCand is a fetch-stage candidate; the scratch slice lives on the Core
+// so thread selection allocates nothing per cycle.
+type fetchCand struct {
+	t      *thread
+	icount int
+}
+
 // Core is one simulated SMT processor instance. It is not safe for
 // concurrent use; run one Core per goroutine.
 type Core struct {
@@ -59,6 +66,7 @@ type Core struct {
 	limiter Limiter
 	hier    *mem.Hierarchy
 	threads []*thread
+	arena   *uopArena
 
 	now    int64
 	events eventQueue
@@ -75,6 +83,16 @@ type Core struct {
 
 	commitRR   int
 	dispatchRR int
+
+	feqCap     int         // per-thread front-end queue capacity
+	fetchCands []fetchCand // reusable fetch-stage scratch
+
+	// Incremental skip-ahead state: threadWake caches the earliest thread
+	// wake-up point (fetch resume or front-end queue head maturing).
+	// wakeValid is cleared whenever front-end state changes, so consecutive
+	// idle steps reuse the cached value instead of rescanning every thread.
+	threadWake int64
+	wakeValid  bool
 
 	profileEvery uint64
 	statsStart   int64 // cycle at the last ResetStats (measurement origin)
@@ -99,21 +117,32 @@ func New(cfg Config, models []trace.Model, policy Policy, limiter Limiter) *Core
 	if policy == nil {
 		policy = ICount{}
 	}
+	feqCap := cfg.FetchWidth * (cfg.FrontEndDelay + 1)
 	c := &Core{
 		cfg:     cfg,
 		policy:  policy,
 		limiter: limiter,
 		hier:    mem.New(cfg.Mem),
+		feqCap:  feqCap,
+		// In-flight uops are bounded by the front-end queues, the shared
+		// ROB and the write buffer; squashed uops awaiting completion
+		// events add transient slack, which the arena covers by growing.
+		arena: newUopArena(len(models)*feqCap + cfg.ROBSize + cfg.WriteBuffer + 64),
 	}
+	c.fetchCands = make([]fetchCand, 0, len(models))
 	for i, m := range models {
 		t := &thread{
 			id:     i,
 			cursor: trace.NewCursor(trace.NewGenerator(m, i)),
 			bp:     bpred.New(cfg.Bpred),
 			mlp:    newMLPState(cfg.PredictorEntries, cfg.llsrSize()),
+			feq:    newUopRing(feqCap),
+			rob:    newUopRing(cfg.ROBSize),
 		}
 		c.threads = append(c.threads, t)
 	}
+	c.iqInt = make([]*Uop, 0, cfg.IQInt)
+	c.iqFP = make([]*Uop, 0, cfg.IQFP)
 	policy.Attach(c)
 	return c
 }
@@ -185,22 +214,22 @@ func (c *Core) FlushAfter(tid int, seq uint64) {
 	flushed := false
 
 	// Front-end queue: youngest entries first.
-	for len(t.feq) > 0 {
-		u := t.feq[len(t.feq)-1]
+	for !t.feq.empty() {
+		u := t.feq.back()
 		if u.Seq() <= seq {
 			break
 		}
-		t.feq = t.feq[:len(t.feq)-1]
+		t.feq.popBack()
 		c.squash(t, u, false)
 		flushed = true
 	}
 	// ROB suffix.
-	for len(t.rob) > 0 {
-		u := t.rob[len(t.rob)-1]
+	for !t.rob.empty() {
+		u := t.rob.back()
 		if u.Seq() <= seq {
 			break
 		}
-		t.rob = t.rob[:len(t.rob)-1]
+		t.rob.popBack()
 		c.squash(t, u, true)
 		flushed = true
 	}
@@ -209,12 +238,14 @@ func (c *Core) FlushAfter(tid int, seq uint64) {
 	}
 	t.flushes++
 	c.activity = true
+	c.wakeValid = false
 
 	// Rebuild the rename map from the surviving dispatched instructions.
 	for i := range t.renameMap {
 		t.renameMap[i] = nil
 	}
-	for _, u := range t.rob {
+	for i := 0; i < t.rob.len(); i++ {
+		u := t.rob.at(i)
 		if u.In.HasDest() {
 			t.renameMap[u.In.Dest] = u
 		}
@@ -228,7 +259,8 @@ func (c *Core) FlushAfter(tid int, seq uint64) {
 	t.cursor.Rewind(seq + 1)
 }
 
-// squash releases the resources held by u. dispatched distinguishes ROB
+// squash releases the resources held by u and recycles its arena slot once
+// no event or issue-queue reference remains. dispatched distinguishes ROB
 // residents from front-end queue residents.
 func (c *Core) squash(t *thread, u *Uop, dispatched bool) {
 	switch u.state {
@@ -262,8 +294,19 @@ func (c *Core) squash(t *thread, u *Uop, dispatched bool) {
 		}
 	}
 	u.state = stateSquashed
+	c.arena.markDone(u) // squashed producers never wake anyone later
 	t.squashedCount++
 	c.policy.OnSquash(u)
+	c.freeIfDead(u)
+}
+
+// freeIfDead recycles u's arena slot once it is in a terminal state with no
+// pending event or issue-queue reference. This is the kernel's single
+// release point; every refs decrement and terminal transition funnels here.
+func (c *Core) freeIfDead(u *Uop) {
+	if u.refs == 0 && (u.state == stateSquashed || u.state == stateCommitted) {
+		c.arena.release(u)
+	}
 }
 
 // --- main loop ---
@@ -277,6 +320,15 @@ func (c *Core) Run(stopAt uint64) Result {
 	c.profileEvery = stopAt / 256
 	if c.profileEvery == 0 {
 		c.profileEvery = 1
+	}
+	// Pre-size the profile buffers so checkpoint appends never allocate in
+	// the measured loop.
+	want := int(stopAt/c.profileEvery) + 8
+	for _, t := range c.threads {
+		if cap(t.profile) < want {
+			t.profile = make([]ProfilePoint, len(t.profile), want)
+		}
+		t.profileLeft = c.profileEvery - t.committed%c.profileEvery
 	}
 	for {
 		c.step()
@@ -323,20 +375,19 @@ func (c *Core) step() {
 		return
 	}
 	// Nothing happened: skip forward to the next event, fetch resume, or
-	// front-end queue head becoming old enough to dispatch.
+	// front-end queue head becoming old enough to dispatch. The thread-side
+	// wake point is cached incrementally — front-end state only changes on
+	// active cycles, so consecutive idle steps reuse it instead of
+	// rescanning every thread's queues.
 	wake := int64(math.MaxInt64)
-	if t, ok := c.events.peekCycle(); ok && t < wake {
-		wake = t
+	if ev, ok := c.events.peekCycle(c.now); ok {
+		wake = ev // always > now: due events were popped this cycle
 	}
-	for _, t := range c.threads {
-		if t.fetchResumeAt > c.now && t.fetchResumeAt < wake {
-			wake = t.fetchResumeAt
-		}
-		if len(t.feq) > 0 {
-			if due := t.feq[0].fetchedAt + int64(c.cfg.FrontEndDelay); due > c.now && due < wake {
-				wake = due
-			}
-		}
+	if !c.wakeValid || (c.threadWake <= c.now && c.threadWake != math.MaxInt64) {
+		c.recomputeThreadWake()
+	}
+	if c.threadWake > c.now && c.threadWake < wake {
+		wake = c.threadWake
 	}
 	if wake == math.MaxInt64 {
 		panic(fmt.Sprintf("core: deadlock at cycle %d: no pending events (committed=%v, rob=%d/%d, wb=%d/%d)",
@@ -347,6 +398,24 @@ func (c *Core) step() {
 	}
 }
 
+// recomputeThreadWake rebuilds the cached thread wake point: the earliest
+// future fetch-resume or front-end queue maturation across all threads.
+func (c *Core) recomputeThreadWake() {
+	wake := int64(math.MaxInt64)
+	for _, t := range c.threads {
+		if t.fetchResumeAt > c.now && t.fetchResumeAt < wake {
+			wake = t.fetchResumeAt
+		}
+		if !t.feq.empty() {
+			if due := t.feq.front().fetchedAt + int64(c.cfg.FrontEndDelay); due > c.now && due < wake {
+				wake = due
+			}
+		}
+	}
+	c.threadWake = wake
+	c.wakeValid = true
+}
+
 func (c *Core) processEvents() {
 	for {
 		ev, ok := c.events.popIfDue(c.now)
@@ -355,6 +424,7 @@ func (c *Core) processEvents() {
 		}
 		c.activity = true
 		u := ev.uop
+		u.refs--
 		switch ev.kind {
 		case evWriteBufferFree:
 			c.wbUsed--
@@ -370,19 +440,9 @@ func (c *Core) processEvents() {
 				break
 			}
 			u.state = stateDone
-			u.doneAt = c.now
-			for _, d := range u.dependents {
-				if d.Squashed() {
-					continue
-				}
-				if d.In.Src1 == u.In.Dest {
-					d.src1Ready = true
-				}
-				if d.In.Src2 == u.In.Dest {
-					d.src2Ready = true
-				}
-			}
-			u.dependents = u.dependents[:0]
+			// Scoreboard wakeup: consumers observe the done bit at issue
+			// time instead of the producer walking a dependent list.
+			c.arena.markDone(u)
 			if u.In.Class == isa.Branch && u.Mispredicted {
 				t := c.threads[u.Tid]
 				if t.redirect == u {
@@ -392,9 +452,11 @@ func (c *Core) processEvents() {
 						resume = 1
 					}
 					t.fetchResumeAt = c.now + resume
+					c.wakeValid = false
 				}
 			}
 		}
+		c.freeIfDead(u)
 	}
 }
 
@@ -404,10 +466,14 @@ func (c *Core) processEvents() {
 func (c *Core) commit() {
 	budget := c.cfg.CommitWidth
 	n := len(c.threads)
+	idx := c.commitRR
 	for i := 0; i < n && budget > 0; i++ {
-		t := c.threads[(c.commitRR+i)%n]
-		for budget > 0 && len(t.rob) > 0 {
-			u := t.rob[0]
+		t := c.threads[idx]
+		if idx++; idx == n {
+			idx = 0
+		}
+		for budget > 0 && !t.rob.empty() {
+			u := t.rob.front()
 			if u.state != stateDone {
 				break
 			}
@@ -419,10 +485,10 @@ func (c *Core) commit() {
 				c.wbUsed++
 				acc := c.hier.Store(t.id, u.In.Addr, c.now)
 				u.Access = acc
-				c.events.schedule(c.now+1+acc.Latency, evWriteBufferFree, u)
+				c.events.schedule(c.now, c.now+1+acc.Latency, evWriteBufferFree, u)
 			}
 			// Retire.
-			t.rob = t.rob[1:]
+			t.rob.popFront()
 			c.robUsed--
 			t.robCount--
 			if u.In.Class.IsMem() {
@@ -444,14 +510,20 @@ func (c *Core) commit() {
 			t.mlp.observeCommit(u.IsLLL, u.In.PC)
 			t.cursor.Release(u.Seq())
 			t.committed++
-			if t.committed%c.profileEvery == 0 {
+			t.profileLeft--
+			if t.profileLeft == 0 {
 				t.profile = append(t.profile, ProfilePoint{Instructions: t.committed, Cycles: c.now - c.statsStart})
+				t.profileLeft = c.profileEvery
 			}
 			budget--
 			c.activity = true
+			u.state = stateCommitted
+			c.freeIfDead(u) // stores stay pinned by their write-buffer event
 		}
 	}
-	c.commitRR++
+	if c.commitRR++; c.commitRR == n {
+		c.commitRR = 0
+	}
 }
 
 // execLatency returns the functional-unit latency of non-memory classes.
@@ -470,20 +542,26 @@ func execLatency(class isa.Class) int64 {
 
 // issue selects ready instructions oldest-first from the issue queues,
 // bounded by IssueWidth and per-class functional unit counts, and schedules
-// their completion. Loads access the memory hierarchy here.
+// their completion. Loads access the memory hierarchy here. Readiness is a
+// scoreboard probe against the arena's done bitmap (bitmap wakeup).
 func (c *Core) issue() {
 	budget := c.cfg.IssueWidth
 	alu := c.cfg.IntALUs
 	ldst := c.cfg.LdStUnits
 	fp := c.cfg.FPUnits
+	arena := c.arena
 
 	scan := func(q []*Uop) []*Uop {
 		kept := q[:0]
 		for _, u := range q {
 			if u.Squashed() {
-				continue // reclaim the slot silently; squash already counted it
+				// Reclaim the slot silently; squash already counted it.
+				// Leaving the queue drops the last reference.
+				u.refs--
+				c.freeIfDead(u)
+				continue
 			}
-			if budget <= 0 || !u.ready() {
+			if budget <= 0 || !u.readyIn(arena) {
 				kept = append(kept, u)
 				continue
 			}
@@ -502,6 +580,7 @@ func (c *Core) issue() {
 			}
 			*unit--
 			budget--
+			u.refs-- // leaves the issue queue; events pin it from here
 			c.issueUop(u)
 		}
 		return kept
@@ -537,12 +616,12 @@ func (c *Core) issueUop(u *Uop) {
 			if detect > done {
 				detect = done
 			}
-			c.events.schedule(detect, evDetectLLL, u)
+			c.events.schedule(c.now, detect, evDetectLLL, u)
 		}
-		c.events.schedule(done, evComplete, u)
+		c.events.schedule(c.now, done, evComplete, u)
 		return
 	}
-	c.events.schedule(c.now+execLatency(u.In.Class), evComplete, u)
+	c.events.schedule(c.now, c.now+execLatency(u.In.Class), evComplete, u)
 }
 
 // dispatch moves instructions whose front-end delay has elapsed from the
@@ -555,10 +634,14 @@ func (c *Core) dispatch() {
 	dispatched := 0
 	sharedBlocked := false // some head was blocked on a shared resource
 
+	idx := c.dispatchRR
 	for i := 0; i < n && budget > 0; i++ {
-		t := c.threads[(c.dispatchRR+i)%n]
-		for budget > 0 && len(t.feq) > 0 {
-			u := t.feq[0]
+		t := c.threads[idx]
+		if idx++; idx == n {
+			idx = 0
+		}
+		for budget > 0 && !t.feq.empty() {
+			u := t.feq.front()
 			if u.fetchedAt+int64(c.cfg.FrontEndDelay) > c.now {
 				break
 			}
@@ -570,15 +653,18 @@ func (c *Core) dispatch() {
 			if c.limiter != nil && !c.limiter.MayDispatch(c, t.id, u) {
 				break
 			}
-			t.feq = t.feq[1:]
+			t.feq.popFront()
 			c.dispatchUop(t, u)
 			dispatched++
 			budget--
 		}
 	}
-	c.dispatchRR++
+	if c.dispatchRR++; c.dispatchRR == n {
+		c.dispatchRR = 0
+	}
 	if dispatched > 0 {
 		c.activity = true
+		c.wakeValid = false
 	}
 	if wanted && dispatched == 0 && sharedBlocked {
 		c.ResourceStallCycles++
@@ -615,7 +701,7 @@ func (c *Core) haveResources(u *Uop) bool {
 
 func (c *Core) dispatchUop(t *thread, u *Uop) {
 	u.state = stateDispatched
-	t.rob = append(t.rob, u)
+	t.rob.pushBack(u)
 	c.robUsed++
 	t.robCount++
 	if u.In.Class.IsMem() {
@@ -632,13 +718,14 @@ func (c *Core) dispatchUop(t *thread, u *Uop) {
 		}
 	}
 
-	// Rename: wire sources to in-flight producers.
-	u.src1Ready = c.srcReady(t, u, u.In.Src1)
-	u.src2Ready = c.srcReady(t, u, u.In.Src2)
+	// Rename: register sources against in-flight producers.
+	u.src1Prod, u.src1Gen = c.resolveProducer(t, u.In.Src1)
+	u.src2Prod, u.src2Gen = c.resolveProducer(t, u.In.Src2)
 	if u.In.HasDest() {
 		t.renameMap[u.In.Dest] = u
 	}
 
+	u.refs++ // issue-queue residency pins the arena slot
 	if u.In.Class.IsFP() {
 		c.iqFP = append(c.iqFP, u)
 		c.iqFPUsed++
@@ -650,48 +737,52 @@ func (c *Core) dispatchUop(t *thread, u *Uop) {
 	}
 }
 
-// srcReady resolves one source operand at rename time, registering u as a
-// dependent of an in-flight producer when needed.
-func (c *Core) srcReady(t *thread, u *Uop, reg int16) bool {
+// resolveProducer resolves one source operand at rename time: it returns the
+// in-flight producer's arena slot and generation, or (-1, 0) when the
+// operand is already available. The consumer's readiness is then a
+// scoreboard probe — no producer-side dependent list is maintained.
+func (c *Core) resolveProducer(t *thread, reg int16) (int32, uint32) {
 	if reg == isa.RegNone {
-		return true
+		return -1, 0
 	}
 	p := t.renameMap[reg]
 	if p == nil || p.Done() || p.Squashed() {
-		return true
+		return -1, 0
 	}
-	p.dependents = append(p.dependents, u)
-	return false
+	return p.arenaIdx, c.arena.gen[p.arenaIdx]
 }
 
 // fetch implements ICOUNT 2.4: up to FetchWidth instructions per cycle from
 // up to FetchThreads threads, prioritized by lowest in-flight instruction
-// count, with the active fetch policy gating individual threads.
+// count, with the active fetch policy gating individual threads. Candidate
+// selection reuses a scratch slice and an insertion sort over at most
+// Threads entries, so the stage allocates nothing.
 func (c *Core) fetch() {
-	type cand struct {
-		t      *thread
-		icount int
-	}
-	var cands []cand
-	feqCap := c.cfg.FetchWidth * (c.cfg.FrontEndDelay + 1)
+	cands := c.fetchCands[:0]
 	for _, t := range c.threads {
 		if t.fetchResumeAt > c.now || t.redirect != nil {
 			continue
 		}
-		if len(t.feq) >= feqCap {
+		if t.feq.len() >= c.feqCap {
 			continue
 		}
 		if !c.policy.CanFetch(t.id) {
 			continue
 		}
-		cands = append(cands, cand{t, t.icount})
+		cands = append(cands, fetchCand{t, t.icount})
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].icount != cands[j].icount {
-			return cands[i].icount < cands[j].icount
+	// Insertion sort by (icount, thread id): deterministic total order, at
+	// most Threads entries, no closure or reflection.
+	for i := 1; i < len(cands); i++ {
+		cd := cands[i]
+		j := i - 1
+		for j >= 0 && (cands[j].icount > cd.icount ||
+			(cands[j].icount == cd.icount && cands[j].t.id > cd.t.id)) {
+			cands[j+1] = cands[j]
+			j--
 		}
-		return cands[i].t.id < cands[j].t.id
-	})
+		cands[j+1] = cd
+	}
 
 	slots := c.cfg.FetchWidth
 	threadsUsed := 0
@@ -701,15 +792,21 @@ func (c *Core) fetch() {
 		}
 		t := cd.t
 		threadsUsed++
-		for slots > 0 && len(t.feq) < feqCap {
+		for slots > 0 && t.feq.len() < c.feqCap {
 			in := t.cursor.Fetch()
 			c.nextID++
-			u := &Uop{In: in, Tid: t.id, ID: c.nextID, fetchedAt: c.now, state: stateFetched}
-			t.feq = append(t.feq, u)
+			u := c.arena.alloc()
+			u.In = in
+			u.Tid = t.id
+			u.ID = c.nextID
+			u.fetchedAt = c.now
+			u.state = stateFetched
+			t.feq.pushBack(u)
 			t.icount++
 			t.fetched++
 			slots--
 			c.activity = true
+			c.wakeValid = false
 
 			stop := false
 			switch in.Class {
@@ -717,7 +814,6 @@ func (c *Core) fetch() {
 				u.PredictedLLL = t.mlp.MissPattern.Predict(in.PC)
 			case isa.Branch:
 				predTaken, _, _ := t.bp.Predict(in.PC)
-				u.predTaken = predTaken
 				u.Mispredicted = t.bp.Resolve(in.PC, in.Taken, in.Target)
 				if u.Mispredicted {
 					// Fetch is blocked until the branch resolves; the

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"container/heap"
+	"math"
 
 	"smtmlp/internal/isa"
 	"smtmlp/internal/mem"
@@ -16,26 +16,35 @@ const (
 	stateIssued                     // executing
 	stateDone                       // completed, waiting to commit
 	stateSquashed                   // flushed
+	stateCommitted                  // retired (stores may still hold a write-buffer entry)
 )
 
 // Uop is one in-flight micro-operation. Policies receive *Uop in their hooks
 // and may read any exported field; they must not mutate them.
+//
+// Uops live in the core's pooled arena: they are allocated at fetch and
+// recycled at commit or squash once no event or issue-queue reference
+// remains, so steady-state simulation performs no per-instruction heap
+// allocation. Operand wakeup is scoreboard-based: instead of producer-held
+// dependent lists, each uop records its producers as (arena slot, generation)
+// pairs and readiness is a bitmap probe (see arena.go).
 type Uop struct {
 	In  isa.Instr
 	Tid int
 	ID  uint64 // global age: smaller is older across all threads
 
-	state      uopState
-	fetchedAt  int64
-	doneAt     int64
-	src1Ready  bool
-	src2Ready  bool
-	inIQ       bool
-	dependents []*Uop
+	state     uopState
+	fetchedAt int64
+	arenaIdx  int32 // slot in the core's uop arena
+	refs      int32 // pending events + issue-queue residency pinning the slot
+
+	// Source producers, registered at rename: the arena slot (or -1 when the
+	// operand was ready at rename) and the slot's generation at registration.
+	src1Prod, src2Prod int32
+	src1Gen, src2Gen   uint32
 
 	// Branch bookkeeping (filled at fetch).
 	Mispredicted bool
-	predTaken    bool
 
 	// Load bookkeeping.
 	Access       mem.Access // valid once issued (Load) or committed (Store)
@@ -53,7 +62,27 @@ func (u *Uop) Squashed() bool { return u.state == stateSquashed }
 // Done reports whether the uop has finished executing.
 func (u *Uop) Done() bool { return u.state == stateDone }
 
-func (u *Uop) ready() bool { return u.src1Ready && u.src2Ready }
+// readyIn reports whether both sources are available: a source is ready when
+// it had no in-flight producer at rename, or when its producer's arena slot
+// reports done (scoreboard bit) or was recycled (generation mismatch — the
+// producer completed or was squashed together with this consumer).
+// Readiness is monotonic, so a successful probe clears the producer link and
+// later probes of the same waiting uop cost two integer compares.
+func (u *Uop) readyIn(a *uopArena) bool {
+	if u.src1Prod >= 0 {
+		if !a.srcReady(u.src1Prod, u.src1Gen) {
+			return false
+		}
+		u.src1Prod = -1
+	}
+	if u.src2Prod >= 0 {
+		if !a.srcReady(u.src2Prod, u.src2Gen) {
+			return false
+		}
+		u.src2Prod = -1
+	}
+	return true
+}
 
 // event kinds processed by the core's time queue.
 type eventKind uint8
@@ -71,45 +100,138 @@ type event struct {
 	uop   *Uop
 }
 
-// eventQueue is a deterministic min-heap ordered by (cycle, insertion seq).
-type eventQueue struct {
-	items []event
-	nseq  uint64
+// evHorizon is the time-wheel span: events due within the next evHorizon-1
+// cycles go to O(1) per-cycle buckets (nearly all events — functional unit
+// latencies and L1/L2 hits are short); only distant completions (L3 and
+// memory misses) pay for the heap.
+const evHorizon = 16
+
+// evBucket holds the events of one wheel slot, drained through a head index
+// with vacated entries zeroed (no retention through the backing array).
+type evBucket struct {
+	evs  []event
+	head int
 }
 
-func (q *eventQueue) Len() int { return len(q.items) }
-func (q *eventQueue) Less(i, j int) bool {
+// eventQueue is a deterministic event scheduler: a 16-slot time wheel in
+// front of a hand-rolled min-heap ordered by (cycle, insertion seq). Neither
+// path boxes events through an interface (container/heap's Push/Pop
+// allocate per call), and steady-state scheduling allocates nothing.
+//
+// Determinism: events must pop in (cycle, seq) order. Within a wheel bucket,
+// append order is seq order. Across the two stores, any heap event due at
+// cycle X was scheduled at least evHorizon cycles before X, while every
+// bucket event for X was scheduled later than that — so all heap events for
+// a cycle carry smaller seqs than all bucket events for it, and draining the
+// heap first preserves the global order.
+type eventQueue struct {
+	items   []event // far events (>= evHorizon ahead): min-heap
+	nseq    uint64
+	wheel   [evHorizon]evBucket
+	inWheel int
+}
+
+func (q *eventQueue) less(i, j int) bool {
 	if q.items[i].cycle != q.items[j].cycle {
 		return q.items[i].cycle < q.items[j].cycle
 	}
 	return q.items[i].seq < q.items[j].seq
 }
-func (q *eventQueue) Swap(i, j int)      { q.items[i], q.items[j] = q.items[j], q.items[i] }
-func (q *eventQueue) Push(x interface{}) { q.items = append(q.items, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := q.items
-	n := len(old)
-	it := old[n-1]
-	q.items = old[:n-1]
-	return it
-}
 
-func (q *eventQueue) schedule(cycle int64, kind eventKind, u *Uop) {
+// schedule enqueues an event for u at the given cycle (strictly after now)
+// and pins u's arena slot until the event is popped.
+func (q *eventQueue) schedule(now, cycle int64, kind eventKind, u *Uop) {
 	q.nseq++
-	heap.Push(q, event{cycle: cycle, seq: q.nseq, kind: kind, uop: u})
+	u.refs++
+	ev := event{cycle: cycle, seq: q.nseq, kind: kind, uop: u}
+	if d := cycle - now; d > 0 && d < evHorizon {
+		b := &q.wheel[cycle&(evHorizon-1)]
+		b.evs = append(b.evs, ev)
+		q.inWheel++
+		return
+	}
+	q.items = append(q.items, ev)
+	// Sift up.
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
 }
 
-// peekCycle returns the cycle of the earliest event, or false when empty.
-func (q *eventQueue) peekCycle() (int64, bool) {
-	if len(q.items) == 0 {
+// peekCycle returns the cycle of the earliest pending event strictly after
+// now (idle-skip callers have already drained everything due), or false when
+// no event is pending.
+func (q *eventQueue) peekCycle(now int64) (int64, bool) {
+	best := int64(math.MaxInt64)
+	if len(q.items) > 0 {
+		best = q.items[0].cycle
+	}
+	if q.inWheel > 0 {
+		for d := int64(1); d < evHorizon; d++ {
+			b := &q.wheel[(now+d)&(evHorizon-1)]
+			if b.head < len(b.evs) {
+				if now+d < best {
+					best = now + d
+				}
+				break
+			}
+		}
+	}
+	if best == math.MaxInt64 {
 		return 0, false
 	}
-	return q.items[0].cycle, true
+	return best, true
 }
 
+// popIfDue removes and returns the earliest event if it is due at now.
+// Vacated slots (heap tail, bucket entries) are zeroed so backing arrays
+// never retain a completed uop for the rest of the run. The caller owns the
+// popped event's reference and must unpin it (Core.processEvents does).
 func (q *eventQueue) popIfDue(now int64) (event, bool) {
-	if len(q.items) == 0 || q.items[0].cycle > now {
-		return event{}, false
+	if n := len(q.items) - 1; n >= 0 && q.items[0].cycle <= now {
+		ev := q.items[0]
+		q.items[0] = q.items[n]
+		q.items[n] = event{} // zero the vacated slot: no retention
+		q.items = q.items[:n]
+		// Sift down.
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < n && q.less(l, smallest) {
+				smallest = l
+			}
+			if r < n && q.less(r, smallest) {
+				smallest = r
+			}
+			if smallest == i {
+				break
+			}
+			q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+			i = smallest
+		}
+		return ev, true
 	}
-	return heap.Pop(q).(event), true
+	if q.inWheel > 0 {
+		// Every event in this wheel slot is due exactly at now: with a
+		// horizon under 16 cycles, no two pending cycles share a slot.
+		b := &q.wheel[now&(evHorizon-1)]
+		if b.head < len(b.evs) {
+			ev := b.evs[b.head]
+			b.evs[b.head] = event{} // zero: no retention
+			b.head++
+			if b.head == len(b.evs) {
+				b.evs = b.evs[:0]
+				b.head = 0
+			}
+			q.inWheel--
+			return ev, true
+		}
+	}
+	return event{}, false
 }

@@ -9,11 +9,11 @@ import (
 func TestEventQueueOrdering(t *testing.T) {
 	var q eventQueue
 	u := &Uop{}
-	q.schedule(30, evComplete, u)
-	q.schedule(10, evComplete, u)
-	q.schedule(20, evDetectLLL, u)
+	q.schedule(0, 30, evComplete, u)
+	q.schedule(0, 10, evComplete, u)
+	q.schedule(0, 20, evDetectLLL, u)
 
-	if c, ok := q.peekCycle(); !ok || c != 10 {
+	if c, ok := q.peekCycle(0); !ok || c != 10 {
 		t.Fatalf("peek = %d/%t, want 10/true", c, ok)
 	}
 	var got []int64
@@ -39,9 +39,9 @@ func TestEventQueueStableTieBreak(t *testing.T) {
 	// keeps the simulator deterministic.
 	var q eventQueue
 	a, b, c := &Uop{ID: 1}, &Uop{ID: 2}, &Uop{ID: 3}
-	q.schedule(5, evComplete, a)
-	q.schedule(5, evComplete, b)
-	q.schedule(5, evComplete, c)
+	q.schedule(0, 5, evComplete, a)
+	q.schedule(0, 5, evComplete, b)
+	q.schedule(0, 5, evComplete, c)
 	var order []uint64
 	for {
 		ev, ok := q.popIfDue(5)
@@ -57,14 +57,14 @@ func TestEventQueueStableTieBreak(t *testing.T) {
 
 func TestEventQueuePopNotDue(t *testing.T) {
 	var q eventQueue
-	q.schedule(100, evComplete, &Uop{})
+	q.schedule(0, 100, evComplete, &Uop{})
 	if _, ok := q.popIfDue(99); ok {
 		t.Fatal("popped an event before its cycle")
 	}
 	if _, ok := q.popIfDue(100); !ok {
 		t.Fatal("did not pop a due event")
 	}
-	if _, ok := q.peekCycle(); ok {
+	if _, ok := q.peekCycle(100); ok {
 		t.Fatal("empty queue peeked a cycle")
 	}
 }
@@ -88,17 +88,34 @@ func TestUopAccessors(t *testing.T) {
 }
 
 func TestUopReadiness(t *testing.T) {
-	u := &Uop{}
-	if u.ready() {
-		t.Fatal("uop with unresolved sources reports ready")
+	a := newUopArena(64)
+	p1 := a.alloc()
+	p2 := a.alloc()
+	u := a.alloc()
+	u.src1Prod, u.src1Gen = p1.arenaIdx, a.gen[p1.arenaIdx]
+	u.src2Prod, u.src2Gen = p2.arenaIdx, a.gen[p2.arenaIdx]
+	if u.readyIn(a) {
+		t.Fatal("uop with two in-flight producers reports ready")
 	}
-	u.src1Ready = true
-	if u.ready() {
-		t.Fatal("uop with one unresolved source reports ready")
+	a.markDone(p1)
+	if u.readyIn(a) {
+		t.Fatal("uop with one in-flight producer reports ready")
 	}
-	u.src2Ready = true
-	if !u.ready() {
-		t.Fatal("uop with resolved sources not ready")
+	a.markDone(p2)
+	if !u.readyIn(a) {
+		t.Fatal("uop with both producers done not ready")
+	}
+
+	// A recycled producer slot (generation mismatch) also reads as ready.
+	v := a.alloc()
+	v.src1Prod, v.src1Gen = p1.arenaIdx, a.gen[p1.arenaIdx]
+	a.release(p1)
+	r := a.alloc() // reuses p1's slot (LIFO free list), bumping its generation
+	if r.arenaIdx != v.src1Prod {
+		t.Fatalf("expected slot reuse, got %d vs %d", r.arenaIdx, v.src1Prod)
+	}
+	if !v.readyIn(a) {
+		t.Fatal("consumer of a recycled producer slot not ready")
 	}
 }
 

@@ -1,8 +1,6 @@
 package mem
 
 import (
-	"sort"
-
 	"smtmlp/internal/prefetch"
 )
 
@@ -94,29 +92,44 @@ type Access struct {
 // the average number of long-latency loads outstanding over the cycles in
 // which at least one is outstanding.
 type mlpTracker struct {
-	ends     []int64 // sorted completion cycles of outstanding LLLs
+	// ends[head:] holds the sorted completion cycles of outstanding LLLs;
+	// expiry advances head instead of reslicing, so the backing array is
+	// reused for the whole run (compacted when the dead prefix grows).
+	ends     []int64
+	head     int
 	lastT    int64
 	weighted float64 // integral of outstanding count over busy cycles
 	busy     int64   // cycles with >= 1 outstanding
 	total    uint64  // number of long-latency loads observed
 }
 
+// outstanding returns the number of loads still in flight.
+func (t *mlpTracker) outstanding() int { return len(t.ends) - t.head }
+
 // advance moves accounting time forward to now, expiring completed loads.
 func (t *mlpTracker) advance(now int64) {
-	for len(t.ends) > 0 && t.ends[0] <= now {
-		end := t.ends[0]
+	for t.head < len(t.ends) && t.ends[t.head] <= now {
+		end := t.ends[t.head]
 		if end > t.lastT {
 			dt := end - t.lastT
-			t.weighted += float64(len(t.ends)) * float64(dt)
+			t.weighted += float64(len(t.ends)-t.head) * float64(dt)
 			t.busy += dt
 			t.lastT = end
 		}
-		t.ends = t.ends[1:]
+		t.head++
+	}
+	if t.head == len(t.ends) {
+		t.ends = t.ends[:0]
+		t.head = 0
+	} else if t.head >= 64 {
+		n := copy(t.ends, t.ends[t.head:])
+		t.ends = t.ends[:n]
+		t.head = 0
 	}
 	if now > t.lastT {
-		if len(t.ends) > 0 {
+		if len(t.ends) > t.head {
 			dt := now - t.lastT
-			t.weighted += float64(len(t.ends)) * float64(dt)
+			t.weighted += float64(len(t.ends)-t.head) * float64(dt)
 			t.busy += dt
 		}
 		t.lastT = now
@@ -126,10 +139,19 @@ func (t *mlpTracker) advance(now int64) {
 func (t *mlpTracker) add(now, end int64) {
 	t.advance(now)
 	t.total++
-	i := sort.Search(len(t.ends), func(i int) bool { return t.ends[i] >= end })
+	// Sorted insert (binary search, no closure) into the live suffix.
+	lo, hi := t.head, len(t.ends)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.ends[mid] >= end {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
 	t.ends = append(t.ends, 0)
-	copy(t.ends[i+1:], t.ends[i:])
-	t.ends[i] = end
+	copy(t.ends[lo+1:], t.ends[lo:])
+	t.ends[lo] = end
 }
 
 // value returns the MLP statistic; 1.0 when no long-latency load has
@@ -153,8 +175,14 @@ type Hierarchy struct {
 
 	// outstanding maps a missing line to the cycle its fill completes, so a
 	// second access to an in-flight line merges with the first (MSHR
-	// coalescing) instead of starting a new memory access.
-	outstanding map[uint64]int64
+	// coalescing) instead of starting a new memory access. Open-addressed
+	// and compacted in place: no per-access map traffic, no unbounded growth.
+	outstanding *mshrTable
+
+	// fillFn is the one reusable fill callback handed to the stream buffers;
+	// fillNow carries the current cycle so probing allocates no closure.
+	fillFn  prefetch.FillFunc
+	fillNow int64
 
 	// Per-thread accounting.
 	mlp       []mlpTracker
@@ -187,7 +215,7 @@ func New(cfg Config) *Hierarchy {
 		l2:          NewCache(cfg.L2),
 		l3:          NewCache(cfg.L3),
 		tlb:         NewTLB(cfg.TLBEntries, cfg.PageBytes),
-		outstanding: make(map[uint64]int64),
+		outstanding: newMSHRTable(256),
 		mlp:         make([]mlpTracker, cfg.Threads),
 		l1miss:      make([]mlpTracker, cfg.Threads),
 		serialEnd:   make([]int64, cfg.Threads),
@@ -197,6 +225,10 @@ func New(cfg Config) *Hierarchy {
 	if cfg.EnablePrefetch {
 		h.stride = prefetch.NewStridePredictor(cfg.Prefetch)
 		h.sbuf = prefetch.NewBuffers(cfg.Prefetch)
+	}
+	h.fillFn = func(l uint64) int64 {
+		lat, _ := h.fillBelowL1(l, h.fillNow)
+		return lat
 	}
 	return h
 }
@@ -218,7 +250,7 @@ func (h *Hierarchy) line(addr uint64) uint64 { return addr >> h.lineShift }
 // coalescing. It does not install into L1 (the caller decides, so prefetched
 // lines stay in the stream buffer until demanded).
 func (h *Hierarchy) fillBelowL1(lineNum uint64, now int64) (lat int64, level Level) {
-	if ready, ok := h.outstanding[lineNum]; ok && ready > now {
+	if ready, ok := h.outstanding.get(lineNum); ok && ready > now {
 		// Merge with the in-flight miss.
 		return ready - now, LevelMem
 	}
@@ -231,21 +263,8 @@ func (h *Hierarchy) fillBelowL1(lineNum uint64, now int64) (lat int64, level Lev
 	default:
 		h.l3.Insert(lineNum)
 		h.l2.Insert(lineNum)
-		h.outstanding[lineNum] = now + h.cfg.MemLatency
+		h.outstanding.set(lineNum, now+h.cfg.MemLatency, now)
 		return h.cfg.MemLatency, LevelMem
-	}
-}
-
-// expireOutstanding prunes resolved in-flight misses. Called opportunistically
-// to keep the map small.
-func (h *Hierarchy) expireOutstanding(now int64) {
-	if len(h.outstanding) < 4096 {
-		return
-	}
-	for l, ready := range h.outstanding {
-		if ready <= now {
-			delete(h.outstanding, l)
-		}
 	}
 }
 
@@ -254,7 +273,6 @@ func (h *Hierarchy) expireOutstanding(now int64) {
 // misses and D-TLB misses) feed the per-thread MLP trackers.
 func (h *Hierarchy) Load(tid int, pc, addr uint64, now int64) Access {
 	h.Loads++
-	h.expireOutstanding(now)
 	lineNum := h.line(addr)
 
 	var acc Access
@@ -280,7 +298,8 @@ func (h *Hierarchy) Load(tid int, pc, addr uint64, now int64) Access {
 		// The line is still being filled from memory (MSHR merge): the
 		// load waits for the outstanding fill, regardless of the tags
 		// already installed for it.
-		wait := h.outstanding[lineNum] - now
+		ready, _ := h.outstanding.get(lineNum)
+		wait := ready - now
 		acc.Latency += wait + h.cfg.L1.Latency
 		acc.Level = LevelMem
 		if wait > h.cfg.L3.Latency {
@@ -292,10 +311,8 @@ func (h *Hierarchy) Load(tid int, pc, addr uint64, now int64) Access {
 	default:
 		// Probe stream buffers in parallel with the L1 miss.
 		if h.sbuf != nil {
-			if ready, hit := h.sbuf.Probe(lineNum, now, func(l uint64) int64 {
-				lat, _ := h.fillBelowL1(l, now)
-				return lat
-			}); hit {
+			h.fillNow = now
+			if ready, hit := h.sbuf.Probe(lineNum, now, h.fillFn); hit {
 				h.SBHits++
 				wait := ready - now
 				if wait < 0 {
@@ -331,10 +348,8 @@ func (h *Hierarchy) Load(tid int, pc, addr uint64, now int64) Access {
 					ls = -1
 				}
 			}
-			h.sbuf.Allocate(lineNum, ls, now, func(l uint64) int64 {
-				lat, _ := h.fillBelowL1(l, now)
-				return lat
-			})
+			h.fillNow = now
+			h.sbuf.Allocate(lineNum, ls, now, h.fillFn)
 		}
 	}
 
@@ -375,7 +390,8 @@ func (h *Hierarchy) Store(tid int, addr uint64, now int64) Access {
 		acc.Latency += h.cfg.MemLatency
 	}
 	if h.inFlight(lineNum, now) {
-		acc.Latency += h.outstanding[lineNum] - now + h.cfg.L1.Latency
+		ready, _ := h.outstanding.get(lineNum)
+		acc.Latency += ready - now + h.cfg.L1.Latency
 		acc.Level = LevelMem
 		return acc
 	}
@@ -393,7 +409,7 @@ func (h *Hierarchy) Store(tid int, addr uint64, now int64) Access {
 
 // inFlight reports whether line has an outstanding memory fill at now.
 func (h *Hierarchy) inFlight(line uint64, now int64) bool {
-	ready, ok := h.outstanding[line]
+	ready, ok := h.outstanding.get(line)
 	return ok && ready > now
 }
 
@@ -401,7 +417,7 @@ func (h *Hierarchy) inFlight(line uint64, now int64) bool {
 // outstanding at cycle now.
 func (h *Hierarchy) OutstandingLLL(tid int, now int64) int {
 	h.mlp[tid].advance(now)
-	return len(h.mlp[tid].ends)
+	return h.mlp[tid].outstanding()
 }
 
 // OutstandingL1Miss reports how many loads of thread tid that missed the L1
@@ -409,7 +425,7 @@ func (h *Hierarchy) OutstandingLLL(tid int, now int64) int {
 // memory-intensive ("slow").
 func (h *Hierarchy) OutstandingL1Miss(tid int, now int64) int {
 	h.l1miss[tid].advance(now)
-	return len(h.l1miss[tid].ends)
+	return h.l1miss[tid].outstanding()
 }
 
 // ThreadMLP finalizes accounting at endCycle and returns thread tid's MLP

@@ -160,12 +160,14 @@ func New(k Kind) core.Policy {
 	}
 }
 
-// threadState is the per-thread gating state of llPolicy.
+// threadState is the per-thread gating state of llPolicy. The gate and
+// active sets are arena-indexed bitmaps (core.UopSet), so the hooks on the
+// simulator's hot path do word operations instead of map lookups.
 type threadState struct {
-	gate       map[*core.Uop]struct{} // loads whose completion re-enables fetch
-	active     map[*core.Uop]struct{} // detected outstanding LLLs (flush-at-stall targets)
-	stopSeq    uint64                 // fetch window end (valid while gated)
-	stallStart int64                  // cycle the current gating episode began (COT)
+	gate       core.UopSet // loads whose completion re-enables fetch
+	active     core.UopSet // detected outstanding LLLs (flush-at-stall targets)
+	stopSeq    uint64      // fetch window end (valid while gated)
+	stallStart int64       // cycle the current gating episode began (COT)
 }
 
 // llPolicy is the shared implementation of all long-latency-aware fetch
@@ -192,8 +194,8 @@ func (p *llPolicy) Attach(c *core.Core) {
 	p.ts = make([]threadState, c.Threads())
 	for i := range p.ts {
 		p.ts[i] = threadState{
-			gate:       make(map[*core.Uop]struct{}),
-			active:     make(map[*core.Uop]struct{}),
+			gate:       c.NewUopSet(),
+			active:     c.NewUopSet(),
 			stallStart: -1,
 		}
 	}
@@ -202,7 +204,7 @@ func (p *llPolicy) Attach(c *core.Core) {
 // stalled reports whether thread tid is gated with an exhausted window.
 func (p *llPolicy) stalled(tid int) bool {
 	t := &p.ts[tid]
-	return len(t.gate) > 0 && p.c.NextFetchSeq(tid) > t.stopSeq
+	return t.gate.Len() > 0 && p.c.NextFetchSeq(tid) > t.stopSeq
 }
 
 // CanFetch implements core.Policy with the COT escape hatch.
@@ -229,22 +231,22 @@ func (p *llPolicy) CanFetch(tid int) bool {
 // stopSeq (never shrinking an existing window).
 func (p *llPolicy) engage(u *core.Uop, stopSeq uint64) {
 	t := &p.ts[u.Tid]
-	if len(t.gate) == 0 {
+	if t.gate.Len() == 0 {
 		t.stallStart = p.c.Now()
 		t.stopSeq = stopSeq
 	} else if stopSeq > t.stopSeq {
 		t.stopSeq = stopSeq
 	}
-	t.gate[u] = struct{}{}
+	t.gate.Add(u)
 }
 
 // release removes u from all tracking and clears the episode when the last
 // gating load completes.
 func (p *llPolicy) release(u *core.Uop) {
 	t := &p.ts[u.Tid]
-	delete(t.gate, u)
-	delete(t.active, u)
-	if len(t.gate) == 0 {
+	t.gate.Remove(u)
+	t.active.Remove(u)
+	if t.gate.Len() == 0 {
 		t.stopSeq = 0
 		t.stallStart = -1
 	}
@@ -268,7 +270,7 @@ func (p *llPolicy) OnFetch(u *core.Uop) {
 func (p *llPolicy) OnLLLDetected(u *core.Uop) {
 	t := &p.ts[u.Tid]
 	if p.flushAtResourceStall {
-		t.active[u] = struct{}{}
+		t.active.Add(u)
 	}
 	if !p.onDetect {
 		return
@@ -302,7 +304,7 @@ func (p *llPolicy) OnResourceStall(now int64) {
 	}
 	for tid := range p.ts {
 		t := &p.ts[tid]
-		if len(t.active) == 0 {
+		if t.active.Len() == 0 {
 			continue
 		}
 		// Alternative (d) only flushes threads that are sitting in their
@@ -311,16 +313,14 @@ func (p *llPolicy) OnResourceStall(now int64) {
 		if !p.useBinary && !p.stalled(tid) {
 			continue
 		}
+		// Every set member is live: OnSquash removed flushed loads before
+		// their arena slots could be recycled.
 		var oldest *core.Uop
-		for u := range t.active {
-			if u.Squashed() {
-				delete(t.active, u)
-				continue
-			}
+		t.active.ForEach(func(u *core.Uop) {
 			if oldest == nil || u.Seq() < oldest.Seq() {
 				oldest = u
 			}
-		}
+		})
 		if oldest == nil {
 			continue
 		}

@@ -394,11 +394,11 @@ func TestBatchClientDisconnectCancelsAndDrains(t *testing.T) {
 
 	goroutinesBefore := runtime.NumGoroutine()
 
-	// 10 workloads x 6 policies = 60 sequential simulations (~20ms each):
-	// running the whole batch takes >1s, so a prompt drain is distinguishable
-	// from "finished everything anyway".
+	// 80 workloads x 3 policies = 240 sequential simulations: running the
+	// whole batch takes >1s even with the fast cycle kernel, so a prompt
+	// drain is distinguishable from "finished everything anyway".
 	var workloads []string
-	for i := 0; i < 10; i++ {
+	for i := 0; i < 40; i++ {
 		workloads = append(workloads, `["mcf","galgel"]`, `["swim","twolf"]`)
 	}
 	body := fmt.Sprintf(`{"workloads":[%s],"policies":["icount","stall","flush"]}`,

@@ -558,8 +558,9 @@ func max(a, b int) int {
 // same dynamic instructions.
 type Cursor struct {
 	gen  *Generator
-	buf  []isa.Instr // instructions [base, base+len) in sequence order
-	base uint64      // sequence number of buf[0]
+	buf  []isa.Instr // instructions [base, base+len) in sequence order; buf[head:] live
+	head int         // released prefix of buf (compacted lazily)
+	base uint64      // sequence number of buf[head]
 	pos  uint64      // next sequence number to deliver
 }
 
@@ -570,7 +571,7 @@ func NewCursor(gen *Generator) *Cursor {
 
 // Fetch delivers the next instruction (possibly re-delivering after Rewind).
 func (c *Cursor) Fetch() isa.Instr {
-	idx := int(c.pos - c.base)
+	idx := c.head + int(c.pos-c.base)
 	if idx < len(c.buf) {
 		in := c.buf[idx]
 		c.pos++
@@ -598,18 +599,29 @@ func (c *Cursor) Rewind(seq uint64) {
 }
 
 // Release discards instructions with sequence numbers <= seq (they are
-// committed and can no longer be flush targets).
+// committed and can no longer be flush targets). It advances a head index
+// rather than copying the buffer down on every commit; the dead prefix is
+// reclaimed in O(1) amortized time when the buffer empties or the prefix
+// dominates the backing array.
 func (c *Cursor) Release(seq uint64) {
 	if seq < c.base {
 		return
 	}
 	drop := int(seq - c.base + 1)
-	if drop > len(c.buf) {
-		drop = len(c.buf)
+	if live := len(c.buf) - c.head; drop > live {
+		drop = live
 	}
-	c.buf = append(c.buf[:0], c.buf[drop:]...)
+	c.head += drop
 	c.base += uint64(drop)
+	if c.head == len(c.buf) {
+		c.buf = c.buf[:0]
+		c.head = 0
+	} else if c.head >= 1024 && c.head*2 >= len(c.buf) {
+		n := copy(c.buf, c.buf[c.head:])
+		c.buf = c.buf[:n]
+		c.head = 0
+	}
 }
 
 // InFlight returns the number of buffered (unreleased) instructions.
-func (c *Cursor) InFlight() int { return len(c.buf) }
+func (c *Cursor) InFlight() int { return len(c.buf) - c.head }

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -21,8 +22,10 @@ import (
 )
 
 var (
-	perfOut      = flag.String("perf-out", "", "write the perf snapshot JSON (e.g. BENCH_6.json) to this path")
-	perfBaseline = flag.String("perf-baseline", "", "committed snapshot to compare against (e.g. BENCH_6.json)")
+	perfOut      = flag.String("perf-out", "", "write the perf snapshot JSON (e.g. BENCH_7.json) to this path")
+	perfBaseline = flag.String("perf-baseline", "", "committed snapshot to compare against (e.g. BENCH_7.json)")
+	perfPprof    = flag.String("perf-pprof", "", "capture a CPU profile of the measurement loop to this path")
+	perfGate     = flag.Float64("perf-gate", 0, "fail if any workload's instr_per_sec falls below this fraction of the baseline's (0 disables; CI uses 0.75)")
 )
 
 // perfEntry is one measured workload.
@@ -69,6 +72,17 @@ func TestPerfSnapshot(t *testing.T) {
 	}
 	snap := perfSnapshot{Schema: "smtmlp/perf/v1", Budget: budget, Warmup: warmup}
 	ctx := t.Context()
+	if *perfPprof != "" {
+		f, err := os.Create(*perfPprof)
+		if err != nil {
+			t.Fatalf("creating -perf-pprof file: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			t.Fatalf("starting CPU profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	for _, c := range cases {
 		w := smtmlp.Mix(c.benchmarks...)
 		cfg := smtmlp.DefaultConfig(len(c.benchmarks))
@@ -117,8 +131,12 @@ func TestPerfSnapshot(t *testing.T) {
 // comparePerf checks the fresh snapshot against the committed baseline. The
 // simulator outputs (cycles, committed instructions) are deterministic, so
 // any difference is a behavior change that must be accompanied by a
-// deliberate baseline regeneration; wall-time ratios are printed (via fmt,
-// so they appear without -v) but never asserted.
+// deliberate baseline regeneration. Wall-time ratios are printed (via fmt,
+// so they appear without -v); with -perf-gate they also become an assertion:
+// a workload whose instr_per_sec falls below gate x baseline fails the test,
+// so performance regressions are pinned in CI rather than anecdotal. The
+// gate has headroom for machine noise (CI uses 0.75, i.e. fail only on a
+// >25% regression); improvements are reported, never required.
 func comparePerf(t *testing.T, snap perfSnapshot, baselinePath string) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -153,6 +171,17 @@ func comparePerf(t *testing.T, snap perfSnapshot, baselinePath string) {
 		}
 		fmt.Printf("  %-32s %-9s %7.3fs (baseline %7.3fs, speedup x%.2f)\n",
 			e.Workload, e.Policy, e.Seconds, b.Seconds, ratio)
+		if *perfGate > 0 && b.InstrPerSec > 0 {
+			frac := e.InstrPerSec / b.InstrPerSec
+			switch {
+			case frac < *perfGate:
+				t.Errorf("%s/%s throughput regressed: %.0f instr/s is %.2fx the baseline's %.0f (gate %.2f) — investigate, or regenerate %s if the slowdown is deliberate",
+					e.Workload, e.Policy, e.InstrPerSec, frac, b.InstrPerSec, *perfGate, baselinePath)
+			case frac > 1:
+				fmt.Printf("    throughput improved: %.0f instr/s vs baseline %.0f (x%.2f)\n",
+					e.InstrPerSec, b.InstrPerSec, frac)
+			}
+		}
 	}
 	if snap.TotalSeconds > 0 {
 		fmt.Printf("  total %.3fs (baseline %.3fs, speedup x%.2f)\n",
