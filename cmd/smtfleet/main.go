@@ -8,17 +8,26 @@
 // Usage:
 //
 //	smtfleet -spec spec.json -store DIR -workers http://h1:8344,http://h2:8344 \
-//	         [-resume] [-lease-size N] [-lease-ttl D] [-max-attempts N] \
+//	         [-resume] [-lease-size N] [-lease-target D] [-pipeline N] \
+//	         [-no-gzip] [-lease-ttl D] [-max-attempts N] \
 //	         [-straggler-after D] [-quiet]
+//
+// By default leases are sized adaptively: each worker's cells/sec is tracked
+// and its next lease sized to take about -lease-target of wall time, so fast
+// workers pull big leases while slow ones stay small; -lease-size N pins a
+// fixed size instead. Dispatch is pipelined (-pipeline leases in flight per
+// worker, default 2) and lease/result bodies travel gzip-compressed when the
+// worker advertises support (-no-gzip forces plain JSON).
 //
 // Workers need no flags beyond being up ("smtserved -addr :8344"); they hold
 // no state a coordinator depends on. The fleet tolerates worker loss (health
 // probes with backoff retire dead workers and requeue their leases),
-// re-dispatches straggling leases to idle workers, and absorbs every
-// duplicate execution through the store's content-addressed dedupe. Ctrl-C,
-// a crashed coordinator, or losing the whole fleet all leave the store
-// resumable: run again with -resume (or fall back to local smtsweep -resume)
-// to fill the remaining gaps.
+// re-dispatches straggling leases to idle workers, heartbeats long-running
+// leases so slow-but-alive workers are never cancelled mid-execution, and
+// absorbs every duplicate execution through the store's content-addressed
+// dedupe. Ctrl-C, a crashed coordinator, or losing the whole fleet all leave
+// the store resumable: run again with -resume (or fall back to local
+// smtsweep -resume) to fill the remaining gaps.
 package main
 
 import (
@@ -52,8 +61,11 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) int {
 	storeDir := fs.String("store", "", "result store directory (created if missing)")
 	workers := fs.String("workers", "", "comma-separated worker base URLs (http://host:port)")
 	resume := fs.Bool("resume", false, "allow filling the gaps of a partially-run spec")
-	leaseSize := fs.Int("lease-size", fleet.DefaultLeaseSize, "cells per lease")
-	leaseTTL := fs.Duration("lease-ttl", fleet.DefaultLeaseTTL, "max lifetime of an uncollected lease on a worker")
+	leaseSize := fs.Int("lease-size", 0, "fixed cells per lease (0 = adaptive sizing toward -lease-target)")
+	leaseTarget := fs.Duration("lease-target", fleet.DefaultLeaseTarget, "wall time an adaptively-sized lease aims for")
+	pipeline := fs.Int("pipeline", fleet.DefaultPipelineDepth, "leases in flight per worker (1 = serial dispatch)")
+	noGzip := fs.Bool("no-gzip", false, "disable gzip compression of lease and result bodies")
+	leaseTTL := fs.Duration("lease-ttl", fleet.DefaultLeaseTTL, "max lifetime of an unrenewed lease on a worker")
 	maxAttempts := fs.Int("max-attempts", fleet.DefaultMaxAttempts, "lease deliveries per chunk before the run fails")
 	straggler := fs.Duration("straggler-after", fleet.DefaultStraggler, "re-dispatch leases in flight longer than this (negative disables)")
 	quiet := fs.Bool("quiet", false, "suppress progress and fleet event lines")
@@ -111,6 +123,9 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) int {
 	opts := fleet.Options{
 		Workers:        urls,
 		LeaseSize:      *leaseSize,
+		LeaseTarget:    *leaseTarget,
+		PipelineDepth:  *pipeline,
+		NoCompression:  *noGzip,
 		LeaseTTL:       *leaseTTL,
 		MaxAttempts:    *maxAttempts,
 		StragglerAfter: *straggler,
@@ -130,9 +145,16 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) int {
 	if name == "" {
 		name = "campaign"
 	}
-	fmt.Fprintf(out, "%s: total=%d skipped=%d executed=%d failed=%d duplicates=%d leases=%d retried=%d workers_lost=%d refs_merged=%d\n",
+	fmt.Fprintf(out, "%s: total=%d skipped=%d executed=%d failed=%d duplicates=%d leases=%d renewed=%d retried=%d workers_lost=%d refs_merged=%d wire_out=%d/%d wire_in=%d/%d\n",
 		name, sum.Total, sum.Skipped, sum.Executed, sum.Failed, sum.Duplicates,
-		sum.LeasesDispatched, sum.LeasesRetried, sum.WorkersLost, sum.RefsMerged)
+		sum.LeasesDispatched, sum.LeasesRenewed, sum.LeasesRetried, sum.WorkersLost, sum.RefsMerged,
+		sum.BytesOutWire, sum.BytesOut, sum.BytesInWire, sum.BytesIn)
+	if !*quiet {
+		for _, ws := range sum.Workers {
+			fmt.Fprintf(out, "worker %s: leases=%d cells=%d cells_per_sec=%.1f lease_size=%d peak_depth=%d\n",
+				ws.Worker, ws.Leases, ws.Cells, ws.CellsPerSec, ws.LeaseSize, ws.PeakDepth)
+		}
+	}
 
 	if runErr != nil {
 		if errors.Is(runErr, smtmlp.ErrCanceled) {

@@ -16,8 +16,12 @@
 // cmd/smtfleet coordinator drive this process as one executor of a
 // distributed campaign (no -store needed on workers — results flow back to
 // the coordinator's store). -max-leases bounds concurrently-held leases and
-// -lease-ttl caps how long an uncollected lease is kept before its execution
-// is canceled and its state dropped.
+// -lease-ttl caps how long an unrenewed lease is kept before its execution
+// is canceled and its state dropped; coordinators extend that deadline by
+// idempotently re-POSTing the lease as a heartbeat. Lease bodies may arrive
+// gzip-compressed (Content-Encoding: gzip) and results stream back as gzip
+// NDJSON when the coordinator asks for them — old coordinators that know
+// neither get plain buffered JSON, byte-for-byte the same payload.
 //
 // Quickstart:
 //

@@ -57,14 +57,32 @@ func Partition(cells []Cell, size int) [][]Cell {
 		size = len(cells)
 	}
 	out := make([][]Cell, 0, (len(cells)+size-1)/size)
-	for lo := 0; lo < len(cells); lo += size {
-		hi := lo + size
-		if hi > len(cells) {
-			hi = len(cells)
-		}
-		out = append(out, cells[lo:hi:hi])
+	for lo := 0; lo < len(cells); {
+		chunk := Carve(cells, lo, size)
+		out = append(out, chunk)
+		lo += len(chunk)
 	}
 	return out
+}
+
+// Carve slices the next contiguous chunk of at most size cells starting at
+// offset lo, clamped to the tail of cells. It is the single primitive behind
+// both fixed-size partitioning and the fleet coordinator's adaptive sizing:
+// however chunk sizes are chosen, carving contiguously from the expansion
+// order keeps committed batches in expansion order and therefore the store
+// byte-identical to serial execution. Returns nil when lo is past the end.
+func Carve(cells []Cell, lo, size int) []Cell {
+	if lo < 0 || lo >= len(cells) {
+		return nil
+	}
+	if size <= 0 {
+		size = len(cells) - lo
+	}
+	hi := lo + size
+	if hi > len(cells) {
+		hi = len(cells)
+	}
+	return cells[lo:hi:hi]
 }
 
 // Options tunes campaign execution.

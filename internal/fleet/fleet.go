@@ -1,9 +1,9 @@
 // Package fleet is the coordinator half of distributed campaign execution:
 // it expands a campaign spec, diffs it against the local authoritative
-// store, partitions the missing cells into leases, and drives a set of
-// remote smtserved workers through the pull-based /v1/work protocol —
-// POST /v1/work/lease to deliver a batch, long-polling POST
-// /v1/work/complete to collect it.
+// store, carves the missing cells into leases, and drives a set of remote
+// smtserved workers through the pull-based /v1/work protocol — POST
+// /v1/work/lease to deliver a batch, long-polling POST /v1/work/complete to
+// collect it.
 //
 // The design premise is that the store's content addressing does the hard
 // distributed-systems work. Every cell is identified by its campaign
@@ -15,23 +15,42 @@
 // same store bytes as single-node execution, which is the invariant the
 // package test proves.
 //
+// Throughput: the coordinator applies the paper's resource-allocation
+// insight one level up — size each worker's outstanding work to its
+// measured ability to retire it. Each driver keeps a cells/sec EWMA over
+// its completed leases and carves the next lease to a target wall-time
+// (clamped), so a fast worker gets proportionally more cells per round
+// trip than a slow one instead of lockstep chunks. Drivers are also
+// pipelined: up to PipelineDepth leases are in flight per worker, so lease
+// N+1 is already executing while lease N is long-polled, eliminating the
+// idle gap between leases. Wire bodies are gzip-compressed when the worker
+// advertises support (X-Work-Gzip response header; plain JSON first
+// request learns the capability), and complete responses are streamed as
+// NDJSON when the worker speaks it — both degrade transparently against
+// old servers.
+//
 // Ordering: chunks are contiguous slices of the expansion-ordered missing
-// cells, and a reorder buffer commits them strictly in chunk order (each
-// chunk as one store.AppendBatch), mirroring how campaign.Run commits in
-// submission order. Reference profiles arrive lease-scoped from workers and
-// merge through the store's sorted snapshot rewrite, so results.ndjson and
-// refs.ndjson both come out byte-identical to a local run of the same spec.
+// cells, carved in chunk-index order, and a reorder buffer commits them
+// strictly in that order (each chunk as one store.AppendBatch), mirroring
+// how campaign.Run commits in submission order. Adaptive sizing only
+// changes where the chunk boundaries fall, never their order, so
+// results.ndjson and refs.ndjson both come out byte-identical to a local
+// run of the same spec.
 //
 // Failure handling: a worker that stops answering is probed with
 // exponential backoff and, if still unreachable, declared lost — its
-// in-flight chunk is requeued to the survivors. Leases carry a TTL so a
-// worker never pins memory for a dead coordinator; an expired or canceled
-// lease is simply re-dispatched. When every worker is lost the run fails,
-// keeping everything committed so far (a later -resume fills the rest).
+// in-flight chunks are requeued to the survivors. Leases carry a TTL so a
+// worker never pins memory for a dead coordinator, and drivers heartbeat
+// every active lease (an idempotent cells-free re-POST) at TTL/3 so a
+// slow-but-alive worker is never cancelled mid-execution; an expired or
+// canceled lease is simply re-dispatched. When every worker is lost the
+// run fails, keeping everything committed so far (a later -resume fills
+// the rest).
 package fleet
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
@@ -42,6 +61,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"smtmlp"
@@ -52,11 +72,22 @@ import (
 
 // Defaults for Options fields left zero.
 const (
-	DefaultLeaseSize    = 8
-	DefaultLeaseTTL     = 2 * time.Minute
-	DefaultCompleteWait = 2 * time.Second
-	DefaultMaxAttempts  = 4
-	DefaultStraggler    = 30 * time.Second
+	// DefaultLeaseSize seeds adaptive sizing (the first lease to a worker
+	// with no throughput sample yet) and remains the fixed size used by
+	// legacy callers that set LeaseSize explicitly.
+	DefaultLeaseSize     = 8
+	DefaultLeaseTTL      = 2 * time.Minute
+	DefaultLeaseTarget   = 2 * time.Second
+	DefaultMaxLeaseSize  = 128
+	DefaultPipelineDepth = 2
+	DefaultCompleteWait  = 2 * time.Second
+	DefaultMaxAttempts   = 4
+	DefaultStraggler     = 30 * time.Second
+
+	// ewmaAlpha weights the newest cells/sec sample in a worker's
+	// throughput estimate; 0.3 converges in a handful of leases without
+	// chasing single-lease noise.
+	ewmaAlpha = 0.3
 
 	// idlePoll paces a driver with nothing claimable (and the beat after a
 	// lost lease) so it notices requeued or hedgeable work promptly without
@@ -67,17 +98,32 @@ const (
 // Options tunes a fleet run. Workers is the only required field.
 type Options struct {
 	// Workers lists worker base URLs (e.g. "http://host:8080"). Each worker
-	// gets one driver goroutine holding at most one lease at a time.
+	// gets one driver goroutine holding up to PipelineDepth leases.
 	Workers []string
-	// LeaseSize is the number of cells per lease (0 = DefaultLeaseSize).
+	// LeaseSize fixes the number of cells per lease. 0 (the default) means
+	// adaptive: each lease is sized from the worker's cells/sec EWMA to
+	// take about LeaseTarget of wall time, clamped to
+	// [MinLeaseSize, MaxLeaseSize].
 	LeaseSize int
-	// LeaseTTL caps how long a worker holds an uncollected lease before
-	// canceling it (0 = DefaultLeaseTTL). It bounds how long a crashed
-	// coordinator pins worker memory, and how long a lease can sit
-	// uncollectable before being re-dispatched.
+	// LeaseTarget is the wall time an adaptive lease aims for
+	// (0 = DefaultLeaseTarget). Ignored when LeaseSize > 0.
+	LeaseTarget time.Duration
+	// MinLeaseSize and MaxLeaseSize clamp adaptive sizing
+	// (0 = 1 and DefaultMaxLeaseSize). Ignored when LeaseSize > 0.
+	MinLeaseSize int
+	MaxLeaseSize int
+	// PipelineDepth bounds leases in flight per worker
+	// (0 = DefaultPipelineDepth; 1 restores serial dispatch). Keep it at or
+	// below the worker's -max-leases or top-up POSTs bounce off worker_busy.
+	PipelineDepth int
+	// LeaseTTL caps how long a worker holds a lease between heartbeats
+	// before canceling it (0 = DefaultLeaseTTL). Drivers renew active
+	// leases at TTL/4, so it bounds how long a crashed coordinator pins
+	// worker memory — not how long a lease may execute.
 	LeaseTTL time.Duration
 	// CompleteWait is the long-poll duration per collection request
-	// (0 = DefaultCompleteWait; the worker caps it server-side).
+	// (0 = DefaultCompleteWait; the worker caps it server-side at 30s and
+	// drivers shorten it to the renewal cadence when the TTL is tighter).
 	CompleteWait time.Duration
 	// MaxAttempts bounds lease deliveries per chunk (0 = DefaultMaxAttempts);
 	// beyond it the run fails rather than loop on a poisoned chunk.
@@ -91,6 +137,10 @@ type Options struct {
 	// the oldest chunk that has been in flight longer than this (the store
 	// dedupes whichever copy loses). 0 = DefaultStraggler; negative disables.
 	StragglerAfter time.Duration
+	// NoCompression disables gzip on /v1/work bodies in both directions
+	// (requests are sent plain and responses requested identity-encoded).
+	// NDJSON streaming is unaffected — it changes framing, not bytes.
+	NoCompression bool
 	// Client is the HTTP client (nil = a fresh http.Client). Do not set a
 	// global timeout shorter than CompleteWait: collection long-polls.
 	Client *http.Client
@@ -100,6 +150,21 @@ type Options struct {
 	// Eventf, when set, receives human-readable fleet events (worker lost,
 	// lease retried, hedged re-dispatch). Calls are serialized.
 	Eventf func(format string, args ...any)
+}
+
+// WorkerStats reports one worker's view of a finished run.
+type WorkerStats struct {
+	Worker string `json:"worker"`
+	// Leases and Cells count completed collections credited to this worker
+	// (hedge losers and lost leases are not credited).
+	Leases int `json:"leases"`
+	Cells  int `json:"cells"`
+	// CellsPerSec is the final throughput EWMA; LeaseSize is the adaptive
+	// size the next lease would have used (the fixed size under -lease-size).
+	CellsPerSec float64 `json:"cells_per_sec"`
+	LeaseSize   int     `json:"lease_size"`
+	// PeakDepth is the most leases this worker held in flight at once.
+	PeakDepth int `json:"peak_depth"`
 }
 
 // Summary reports a finished (or failed) fleet run.
@@ -117,13 +182,25 @@ type Summary struct {
 	// re-deliveries after a lost collection, races with other writers).
 	Duplicates int `json:"duplicates"`
 	// LeasesDispatched counts every lease delivery, including hedges and
-	// retries; LeasesRetried counts chunks requeued after a lost, expired,
-	// canceled or busy lease; WorkersLost counts workers declared dead.
+	// retries; LeasesRenewed counts heartbeat re-POSTs that extended a
+	// lease TTL; LeasesRetried counts chunks requeued after a lost,
+	// expired, canceled or busy lease; WorkersLost counts workers declared
+	// dead.
 	LeasesDispatched int `json:"leases_dispatched"`
+	LeasesRenewed    int `json:"leases_renewed"`
 	LeasesRetried    int `json:"leases_retried"`
 	WorkersLost      int `json:"workers_lost"`
 	// RefsMerged counts reference profiles newly persisted to the store.
 	RefsMerged int `json:"refs_merged"`
+	// Wire accounting for /v1/work traffic: BytesOut/BytesIn are JSON
+	// payload bytes sent/received, BytesOutWire/BytesInWire what actually
+	// crossed the wire (smaller when gzip was negotiated).
+	BytesOut     int64 `json:"bytes_out"`
+	BytesOutWire int64 `json:"bytes_out_wire"`
+	BytesIn      int64 `json:"bytes_in"`
+	BytesInWire  int64 `json:"bytes_in_wire"`
+	// Workers reports per-worker throughput, in Options.Workers order.
+	Workers []WorkerStats `json:"workers,omitempty"`
 }
 
 // Run executes the spec's missing cells across the workers and commits the
@@ -136,8 +213,20 @@ func Run(ctx context.Context, st *store.Store, spec campaign.Spec, opts Options)
 	if len(opts.Workers) == 0 {
 		return sum, errors.New("fleet: no workers")
 	}
-	if opts.LeaseSize <= 0 {
-		opts.LeaseSize = DefaultLeaseSize
+	if opts.LeaseTarget <= 0 {
+		opts.LeaseTarget = DefaultLeaseTarget
+	}
+	if opts.MinLeaseSize <= 0 {
+		opts.MinLeaseSize = 1
+	}
+	if opts.MaxLeaseSize <= 0 {
+		opts.MaxLeaseSize = DefaultMaxLeaseSize
+	}
+	if opts.MaxLeaseSize < opts.MinLeaseSize {
+		opts.MaxLeaseSize = opts.MinLeaseSize
+	}
+	if opts.PipelineDepth <= 0 {
+		opts.PipelineDepth = DefaultPipelineDepth
 	}
 	if opts.LeaseTTL <= 0 {
 		opts.LeaseTTL = DefaultLeaseTTL
@@ -175,25 +264,28 @@ func Run(ctx context.Context, st *store.Store, spec campaign.Spec, opts Options)
 	}
 
 	instructions, warmup := spec.Params()
-	chunks := campaign.Partition(cells, opts.LeaseSize)
 	c := &coord{
 		st:           st,
-		chunks:       chunks,
+		cells:        cells,
 		instructions: instructions,
 		warmup:       warmup,
 		opts:         opts,
 		runID:        newRunID(),
-		queue:        make([]int, len(chunks)),
-		attempts:     make([]int, len(chunks)),
 		inflight:     make(map[int]*flight),
-		finished:     make(map[int][]server.WorkResult, len(chunks)),
+		finished:     make(map[int][]server.WorkResult),
 		refs:         make(map[string]smtmlp.RefProfile),
 		sum:          &sum,
 		live:         len(opts.Workers),
 		done:         make(chan struct{}),
 	}
-	for i := range chunks {
-		c.queue[i] = i
+
+	bootstrap := opts.LeaseSize
+	if bootstrap <= 0 {
+		bootstrap = clamp(DefaultLeaseSize, opts.MinLeaseSize, opts.MaxLeaseSize)
+	}
+	workers := make([]*workerState, len(opts.Workers))
+	for i, w := range opts.Workers {
+		workers[i] = &workerState{base: strings.TrimRight(w, "/"), size: bootstrap}
 	}
 
 	// Drivers get a context canceled the moment the run ends (all chunks
@@ -210,12 +302,11 @@ func Run(ctx context.Context, st *store.Store, spec campaign.Spec, opts Options)
 	}()
 
 	var wg sync.WaitGroup
-	for _, w := range opts.Workers {
-		base := strings.TrimRight(w, "/")
+	for _, ws := range workers {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c.driver(dctx, base)
+			c.driver(dctx, ws)
 		}()
 	}
 	wg.Wait()
@@ -229,15 +320,29 @@ func Run(ctx context.Context, st *store.Store, spec campaign.Spec, opts Options)
 	saved, mergeErr := st.MergeRefs(refs)
 	sum.RefsMerged = saved
 
+	sum.LeasesRenewed = int(c.renewed.Load())
+	sum.BytesOut = c.bytesOut.Load()
+	sum.BytesOutWire = c.bytesOutWire.Load()
+	sum.BytesIn = c.bytesIn.Load()
+	sum.BytesInWire = c.bytesInWire.Load()
+	sum.Workers = make([]WorkerStats, len(workers))
+	for i, ws := range workers {
+		sum.Workers[i] = WorkerStats{
+			Worker: ws.base, Leases: ws.leases, Cells: ws.cellsDone,
+			CellsPerSec: ws.ewma, LeaseSize: ws.size, PeakDepth: ws.peak,
+		}
+	}
+
 	c.mu.Lock()
 	runErr := c.runErr
-	committed := c.next
+	complete := c.next == len(c.chunks) && c.carve == len(c.cells)
+	remaining := len(c.chunks) - c.next + (len(c.cells) - c.carve)
 	c.mu.Unlock()
-	if runErr == nil && committed < len(chunks) {
+	if runErr == nil && !complete {
 		if ctx.Err() != nil {
 			runErr = fmt.Errorf("fleet: %w", smtmlp.ErrCanceled)
 		} else {
-			runErr = fmt.Errorf("fleet: run stopped with %d of %d chunks uncommitted", len(chunks)-committed, len(chunks))
+			runErr = fmt.Errorf("fleet: run stopped with work for %d chunks/cells uncommitted", remaining)
 		}
 	}
 	if runErr == nil {
@@ -246,24 +351,82 @@ func Run(ctx context.Context, st *store.Store, spec campaign.Spec, opts Options)
 	return sum, runErr
 }
 
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// workerState is one driver's private view of its worker: the throughput
+// EWMA behind adaptive sizing, the negotiated wire capabilities, and
+// pipeline accounting. Only its own driver goroutine mutates it (claim
+// reads size under c.mu, but claim is only ever called by that driver);
+// Run reads it after all drivers exit.
+type workerState struct {
+	base      string
+	gzipOK    bool    // worker advertised X-Work-Gzip: request bodies may compress
+	ewma      float64 // cells/sec, 0 until the first completed lease
+	size      int     // next adaptive lease size (fixed size under LeaseSize>0)
+	leases    int
+	cellsDone int
+	depth     int
+	peak      int
+}
+
+// observe folds one completed lease into the worker's throughput estimate
+// and recomputes the adaptive size. Under pipelining the elapsed time of
+// overlapping leases overstates per-lease latency (the worker splits
+// itself across PipelineDepth leases), but it does so by the same factor
+// on every worker, so relative sizing — the thing that matters for
+// balancing heterogeneous workers — still converges.
+func (c *coord) observe(ws *workerState, al *activeLease) {
+	elapsed := time.Since(al.sent).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	sample := float64(al.cells) / elapsed
+	if ws.ewma == 0 {
+		ws.ewma = sample
+	} else {
+		ws.ewma = ewmaAlpha*sample + (1-ewmaAlpha)*ws.ewma
+	}
+	ws.leases++
+	ws.cellsDone += al.cells
+	if c.opts.LeaseSize > 0 {
+		return
+	}
+	c.mu.Lock()
+	ws.size = clamp(int(ws.ewma*c.opts.LeaseTarget.Seconds()+0.5), c.opts.MinLeaseSize, c.opts.MaxLeaseSize)
+	c.mu.Unlock()
+}
+
 // flight tracks one chunk currently leased out.
 type flight struct {
 	started time.Time
-	holders map[string]bool // worker base URLs holding a live lease for it
+	holders map[*workerState]bool
 }
+
+// span is one chunk's contiguous cell range: c.cells[lo:hi].
+type span struct{ lo, hi int }
 
 // coord is the shared state of one fleet run.
 type coord struct {
 	st           *store.Store
-	chunks       [][]campaign.Cell
+	cells        []campaign.Cell
 	instructions uint64
 	warmup       uint64
 	opts         Options
 	runID        string
 
 	mu       sync.Mutex
-	queue    []int // chunk indexes awaiting dispatch, FIFO
-	attempts []int // lease deliveries per chunk
+	carve    int    // cells [0, carve) have been carved into chunks
+	chunks   []span // carved chunks, in expansion order; grows during the run
+	queue    []int  // chunk indexes awaiting re-dispatch, FIFO
+	attempts []int  // lease deliveries per chunk
 	inflight map[int]*flight
 	finished map[int][]server.WorkResult // collected, awaiting the cursor
 	next     int                         // commit cursor: chunks [0, next) are in the store
@@ -274,6 +437,12 @@ type coord struct {
 	closed   bool
 	seq      int
 	done     chan struct{}
+
+	renewed      atomic.Int64
+	bytesOut     atomic.Int64 // JSON request bytes
+	bytesOutWire atomic.Int64 // request bytes on the wire
+	bytesIn      atomic.Int64 // JSON response bytes
+	bytesInWire  atomic.Int64 // response bytes on the wire
 
 	eventMu sync.Mutex
 }
@@ -295,28 +464,38 @@ func (c *coord) eventf(format string, args ...any) {
 	c.opts.Eventf(format, args...)
 }
 
-// claim hands the worker its next chunk: the head of the queue, or — when
-// the queue is drained and hedging is enabled — the oldest straggling
-// in-flight chunk this worker is not already running. Every claim gets a
-// fresh lease ID: lease IDs are idempotency keys on the worker, so a
-// re-delivery after cancellation must not collide with the dead lease.
-func (c *coord) claim(base string) (idx int, leaseID string, ok bool) {
+// claim hands the worker its next chunk: a requeued chunk from the head of
+// the queue, else a fresh chunk carved from the uncarved tail at the
+// worker's current adaptive size, else — when hedging is enabled — the
+// oldest straggling in-flight chunk this worker is not already running.
+// Every claim gets a fresh lease ID: lease IDs are idempotency keys on the
+// worker, so a re-delivery after cancellation must not collide with the
+// dead lease. The returned cell slice aliases the immutable expansion
+// order, so it is safe to use outside the lock.
+func (c *coord) claim(ws *workerState) (idx int, cells []campaign.Cell, leaseID string, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return 0, "", false
+		return 0, nil, "", false
 	}
 	hedged := false
-	if len(c.queue) > 0 {
+	switch {
+	case len(c.queue) > 0:
 		idx = c.queue[0]
 		c.queue = c.queue[1:]
-	} else {
+	case c.carve < len(c.cells):
+		chunk := campaign.Carve(c.cells, c.carve, ws.size)
+		idx = len(c.chunks)
+		c.chunks = append(c.chunks, span{c.carve, c.carve + len(chunk)})
+		c.attempts = append(c.attempts, 0)
+		c.carve += len(chunk)
+	default:
 		if c.opts.StragglerAfter < 0 {
-			return 0, "", false
+			return 0, nil, "", false
 		}
 		best := -1
 		for i, f := range c.inflight {
-			if f.holders[base] || time.Since(f.started) < c.opts.StragglerAfter {
+			if f.holders[ws] || time.Since(f.started) < c.opts.StragglerAfter {
 				continue
 			}
 			if best == -1 || f.started.Before(c.inflight[best].started) {
@@ -324,37 +503,42 @@ func (c *coord) claim(base string) (idx int, leaseID string, ok bool) {
 			}
 		}
 		if best == -1 {
-			return 0, "", false
+			return 0, nil, "", false
 		}
 		idx = best
 		hedged = true
 	}
 	f := c.inflight[idx]
 	if f == nil {
-		f = &flight{started: time.Now(), holders: make(map[string]bool, 1)}
+		f = &flight{started: time.Now(), holders: make(map[*workerState]bool, 1)}
 		c.inflight[idx] = f
 	}
-	f.holders[base] = true
+	f.holders[ws] = true
 	c.attempts[idx]++
 	c.seq++
 	leaseID = fmt.Sprintf("%s-%d.%d", c.runID, idx, c.seq)
 	c.sum.LeasesDispatched++
+	sp := c.chunks[idx]
+	cells = c.cells[sp.lo:sp.hi:sp.hi]
 	if hedged {
-		go c.eventf("fleet: hedging straggler chunk %d on %s as lease %s", idx, base, leaseID)
+		go c.eventf("fleet: hedging straggler chunk %d on %s as lease %s", idx, ws.base, leaseID)
 	}
-	return idx, leaseID, true
+	return idx, cells, leaseID, true
 }
 
 // release drops the worker's hold on a chunk that did not complete. If no
 // hedge partner still holds it and it is not already committed, the chunk
 // goes back to the front of the queue (front, so the commit cursor unblocks
 // as soon as possible); a chunk that exhausted its attempts fails the run.
-func (c *coord) release(idx int, base string) {
+func (c *coord) release(idx int, ws *workerState) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	f := c.inflight[idx]
 	if f != nil {
-		delete(f.holders, base)
+		if !f.holders[ws] {
+			return // already released (driver exit path)
+		}
+		delete(f.holders, ws)
 	}
 	if idx < c.next || c.finished[idx] != nil {
 		return // already collected elsewhere
@@ -371,15 +555,24 @@ func (c *coord) release(idx int, base string) {
 	c.sum.LeasesRetried++
 }
 
+// overtaken reports whether a chunk has already been collected or committed
+// (a hedge partner won); drivers use it to abandon a redundant lease
+// instead of polling and renewing it to completion.
+func (c *coord) overtaken(idx int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return idx < c.next || c.finished[idx] != nil
+}
+
 // finish records a collected lease and advances the commit cursor. A chunk
 // already collected (a hedge or re-delivery landing second) is discarded —
 // the store would have deduplicated it anyway; discarding just skips the
 // no-op write.
-func (c *coord) finish(idx int, base string, results []server.WorkResult, refs []smtmlp.RefProfile) {
+func (c *coord) finish(idx int, ws *workerState, results []server.WorkResult, refs []smtmlp.RefProfile) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if f := c.inflight[idx]; f != nil {
-		delete(f.holders, base)
+		delete(f.holders, ws)
 		if len(f.holders) == 0 {
 			delete(c.inflight, idx)
 		}
@@ -403,7 +596,7 @@ func (c *coord) advanceLocked() {
 	for {
 		results, ok := c.finished[c.next]
 		if !ok {
-			return
+			break
 		}
 		delete(c.finished, c.next)
 		recs := make([]store.Record, 0, len(results))
@@ -432,10 +625,9 @@ func (c *coord) advanceLocked() {
 			c.opts.Progress(campaign.Progress{Total: c.sum.Total, Skipped: c.sum.Skipped,
 				Executed: c.sum.Executed, Failed: c.sum.Failed})
 		}
-		if c.next == len(c.chunks) {
-			c.closeLocked(nil)
-			return
-		}
+	}
+	if c.next == len(c.chunks) && c.carve == len(c.cells) {
+		c.closeLocked(nil)
 	}
 }
 
@@ -459,14 +651,13 @@ func (c *coord) fail(err error) {
 // loseWorker retires a worker that failed its health probes. When the last
 // worker dies with work outstanding, the run fails (everything committed so
 // far stays committed).
-func (c *coord) loseWorker(base string) {
+func (c *coord) loseWorker(ws *workerState) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sum.WorkersLost++
 	c.live--
-	if c.live == 0 && c.next < len(c.chunks) {
-		c.closeLocked(fmt.Errorf("fleet: all %d workers lost with %d of %d chunks uncommitted",
-			len(c.opts.Workers), len(c.chunks)-c.next, len(c.chunks)))
+	if c.live == 0 && (c.next < len(c.chunks) || c.carve < len(c.cells)) {
+		c.closeLocked(fmt.Errorf("fleet: all %d workers lost with work uncommitted", len(c.opts.Workers)))
 	}
 }
 
@@ -481,10 +672,63 @@ type transportError struct{ err error }
 func (e *transportError) Error() string { return e.err.Error() }
 func (e *transportError) Unwrap() error { return e.err }
 
-// driver runs one worker: claim a chunk, deliver it as a lease, long-poll
-// the collection, commit; on trouble, requeue and either retry, probe, or
-// retire the worker.
-func (c *coord) driver(ctx context.Context, base string) {
+// activeLease is one lease in a driver's pipeline.
+type activeLease struct {
+	idx     int
+	leaseID string
+	cells   int
+	sent    time.Time
+	renewed time.Time
+}
+
+// driver runs one worker as a bounded pipeline: keep up to PipelineDepth
+// leases posted (so the worker is already executing lease N+1 while lease
+// N is collected), heartbeat every active lease at TTL/3, and long-poll
+// the oldest lease; on trouble, requeue and either retry, probe, or retire
+// the worker. recoverLease classifies an error after its lease has been
+// dropped from the pipeline; false means the driver must exit (remaining
+// pipeline entries are released by the deferred cleanup).
+func (c *coord) driver(ctx context.Context, ws *workerState) {
+	// Heartbeat at TTL/4 (not /3): a renewal can lag one long-poll plus
+	// scheduler jitter behind its due time, and it must still land well
+	// inside the worker's deadline.
+	renewEvery := c.opts.LeaseTTL / 4
+	wait := c.opts.CompleteWait
+	if wait > renewEvery {
+		wait = renewEvery // poll often enough to heartbeat the pipeline
+	}
+	var act []*activeLease
+	defer func() {
+		for _, al := range act {
+			c.release(al.idx, ws)
+		}
+	}()
+
+	recoverLease := func(idx int, err error) bool {
+		var te *transportError
+		switch {
+		case ctx.Err() != nil:
+			return false
+		case errors.Is(err, errLeaseLost):
+			c.eventf("fleet: %v; requeued chunk %d", err, idx)
+			return c.sleep(ctx, idlePoll)
+		case errors.As(err, &te):
+			c.eventf("fleet: worker %s unreachable (%v); probing", ws.base, te.err)
+			if !c.probe(ctx, ws.base) {
+				c.eventf("fleet: worker %s lost; its chunks requeue to survivors", ws.base)
+				c.loseWorker(ws)
+				return false
+			}
+			c.eventf("fleet: worker %s recovered", ws.base)
+			return true
+		default:
+			// A protocol-level rejection (validation, version skew): every
+			// worker would refuse the same lease, so retrying is pointless.
+			c.fail(fmt.Errorf("fleet: worker %s rejected chunk %d: %w", ws.base, idx, err))
+			return false
+		}
+	}
+
 	for {
 		select {
 		case <-c.done:
@@ -493,41 +737,79 @@ func (c *coord) driver(ctx context.Context, base string) {
 			return
 		default:
 		}
-		idx, leaseID, ok := c.claim(base)
-		if !ok {
+
+		// Top up the pipeline.
+		for len(act) < c.opts.PipelineDepth {
+			idx, cells, leaseID, ok := c.claim(ws)
+			if !ok {
+				break
+			}
+			al, err := c.sendLease(ctx, ws, cells, leaseID)
+			if err != nil {
+				c.release(idx, ws)
+				if !recoverLease(idx, err) {
+					return
+				}
+				break // re-claim on the next beat rather than hammering
+			}
+			al.idx = idx
+			act = append(act, al)
+			if len(act) > ws.peak {
+				ws.peak = len(act)
+			}
+		}
+		if len(act) == 0 {
 			if !c.sleep(ctx, idlePoll) {
 				return
 			}
 			continue
 		}
-		out, err := c.execChunk(ctx, base, idx, leaseID)
-		if err == nil {
-			c.finish(idx, base, out.results, out.refs)
+
+		// Heartbeat every active lease that is due, head included: complete
+		// long-polls deliberately do not renew (expiry must win against a
+		// coordinator that merely polls), so execution outliving the TTL
+		// survives only through these re-POSTs.
+		stumbled := false
+		for i := 0; i < len(act); {
+			al := act[i]
+			if time.Since(al.renewed) < renewEvery {
+				i++
+				continue
+			}
+			if err := c.renewLease(ctx, ws, al); err != nil {
+				act = append(act[:i], act[i+1:]...)
+				c.release(al.idx, ws)
+				if !recoverLease(al.idx, err) {
+					return
+				}
+				stumbled = true
+				break
+			}
+			i++
+		}
+		if stumbled || len(act) == 0 {
 			continue
 		}
-		c.release(idx, base)
-		var te *transportError
+
+		// Long-poll the pipeline head.
+		head := act[0]
+		out, done, err := c.pollLease(ctx, ws, head, wait)
 		switch {
-		case ctx.Err() != nil:
-			return
-		case errors.Is(err, errLeaseLost):
-			c.eventf("fleet: %v; requeued chunk %d", err, idx)
-			if !c.sleep(ctx, idlePoll) {
+		case err != nil:
+			act = act[1:]
+			c.release(head.idx, ws)
+			if !recoverLease(head.idx, err) {
 				return
 			}
-		case errors.As(err, &te):
-			c.eventf("fleet: worker %s unreachable (%v); probing", base, te.err)
-			if !c.probe(ctx, base) {
-				c.eventf("fleet: worker %s lost; chunk %d requeued to survivors", base, idx)
-				c.loseWorker(base)
-				return
-			}
-			c.eventf("fleet: worker %s recovered", base)
-		default:
-			// A protocol-level rejection (validation, version skew): every
-			// worker would refuse the same lease, so retrying is pointless.
-			c.fail(fmt.Errorf("fleet: worker %s rejected lease %s: %w", base, leaseID, err))
-			return
+		case done:
+			c.finish(head.idx, ws, out.results, out.refs)
+			c.observe(ws, head)
+			act = act[1:]
+		case c.overtaken(head.idx):
+			// A hedge partner already delivered this chunk: stop polling and
+			// renewing; the worker-side TTL reclaims the redundant lease.
+			act = act[1:]
+			c.release(head.idx, ws)
 		}
 	}
 }
@@ -552,18 +834,19 @@ type leaseOut struct {
 	refs    []smtmlp.RefProfile
 }
 
-// execChunk delivers one chunk as a lease and long-polls until the worker
-// finishes it. The collection loop is bounded by the lease TTL: a lease
-// stuck "running" past it has been (or is about to be) expired worker-side,
-// so the chunk is reported lost rather than polled forever.
-func (c *coord) execChunk(ctx context.Context, base string, idx int, leaseID string) (leaseOut, error) {
-	chunk := c.chunks[idx]
+// sendLease delivers one chunk as a lease (202 accept; execution is async
+// worker-side). The caller owns the returned activeLease's idx field.
+func (c *coord) sendLease(ctx context.Context, ws *workerState, chunk []campaign.Cell, leaseID string) (*activeLease, error) {
 	cells := make([]server.WorkCell, len(chunk))
 	for i, cell := range chunk {
 		cells[i] = server.WorkCell{Fingerprint: cell.Fingerprint, Request: cell.Request}
 	}
+	// The throughput clock starts before the POST: delivery time is part of
+	// what a lease costs on this worker, so it belongs in the EWMA that
+	// sizes the next one.
+	start := time.Now()
 	var status server.LeaseStatus
-	apiErr, err := c.post(ctx, base, "/v1/work/lease", server.LeaseRequest{
+	apiErr, err := c.workPost(ctx, ws, "/v1/work/lease", server.LeaseRequest{
 		LeaseID:      leaseID,
 		Instructions: c.instructions,
 		Warmup:       c.warmup,
@@ -571,41 +854,68 @@ func (c *coord) execChunk(ctx context.Context, base string, idx int, leaseID str
 		Cells:        cells,
 	}, &status)
 	if err != nil {
-		return leaseOut{}, &transportError{err}
+		return nil, &transportError{err}
 	}
 	if apiErr != nil {
 		if apiErr.Code == server.CodeWorkerBusy {
-			return leaseOut{}, fmt.Errorf("%w: worker %s busy", errLeaseLost, base)
+			return nil, fmt.Errorf("%w: worker %s busy", errLeaseLost, ws.base)
 		}
-		return leaseOut{}, apiErr
+		return nil, apiErr
 	}
+	return &activeLease{leaseID: leaseID, cells: len(cells), sent: start, renewed: time.Now()}, nil
+}
 
-	deadline := time.Now().Add(c.opts.LeaseTTL + c.opts.CompleteWait + 5*time.Second)
-	for {
-		var resp server.CompleteResponse
-		apiErr, err := c.post(ctx, base, "/v1/work/complete", server.CompleteRequest{
-			LeaseID:    leaseID,
-			WaitMillis: c.opts.CompleteWait.Milliseconds(),
-		}, &resp)
-		if err != nil {
-			return leaseOut{}, &transportError{err}
+// renewLease heartbeats one lease: an idempotent cells-free re-POST of its
+// lease ID, which the worker answers by resetting the TTL and returning the
+// live snapshot. Any structured refusal means the lease is gone worker-side
+// (expired and forgotten → the cells-free body fails validation as a new
+// lease), so it maps to errLeaseLost rather than a run failure.
+func (c *coord) renewLease(ctx context.Context, ws *workerState, al *activeLease) error {
+	var status server.LeaseStatus
+	apiErr, err := c.workPost(ctx, ws, "/v1/work/lease", server.LeaseRequest{
+		LeaseID:   al.leaseID,
+		TTLMillis: c.opts.LeaseTTL.Milliseconds(),
+	}, &status)
+	if err != nil {
+		return &transportError{err}
+	}
+	if apiErr != nil {
+		return fmt.Errorf("%w: lease %s gone from worker %s (%v)", errLeaseLost, al.leaseID, ws.base, apiErr)
+	}
+	switch status.Status {
+	case "running", "done":
+		al.renewed = time.Now()
+		c.renewed.Add(1)
+		return nil
+	default: // "canceled", "expired"
+		return fmt.Errorf("%w: lease %s %s on worker %s", errLeaseLost, al.leaseID, status.Status, ws.base)
+	}
+}
+
+// pollLease issues one long-poll against a lease. done reports collection;
+// (zero, false, nil) means the lease is still running.
+func (c *coord) pollLease(ctx context.Context, ws *workerState, al *activeLease, wait time.Duration) (leaseOut, bool, error) {
+	var resp server.CompleteResponse
+	apiErr, err := c.workPost(ctx, ws, "/v1/work/complete", server.CompleteRequest{
+		LeaseID:    al.leaseID,
+		WaitMillis: wait.Milliseconds(),
+	}, &resp)
+	if err != nil {
+		return leaseOut{}, false, &transportError{err}
+	}
+	if apiErr != nil {
+		if apiErr.Code == server.CodeUnknownLease {
+			return leaseOut{}, false, fmt.Errorf("%w: lease %s gone from worker %s", errLeaseLost, al.leaseID, ws.base)
 		}
-		if apiErr != nil {
-			if apiErr.Code == server.CodeUnknownLease {
-				return leaseOut{}, fmt.Errorf("%w: lease %s gone from worker %s", errLeaseLost, leaseID, base)
-			}
-			return leaseOut{}, apiErr
-		}
-		switch resp.Lease.Status {
-		case "done":
-			return leaseOut{results: resp.Results, refs: resp.Refs}, nil
-		case "running":
-			if time.Now().After(deadline) {
-				return leaseOut{}, fmt.Errorf("%w: lease %s still running on %s past its TTL", errLeaseLost, leaseID, base)
-			}
-		default: // "canceled", "expired"
-			return leaseOut{}, fmt.Errorf("%w: lease %s %s on worker %s", errLeaseLost, leaseID, resp.Lease.Status, base)
-		}
+		return leaseOut{}, false, apiErr
+	}
+	switch resp.Lease.Status {
+	case "done":
+		return leaseOut{results: resp.Results, refs: resp.Refs}, true, nil
+	case "running":
+		return leaseOut{}, false, nil
+	default: // "canceled", "expired"
+		return leaseOut{}, false, fmt.Errorf("%w: lease %s %s on worker %s", errLeaseLost, al.leaseID, resp.Lease.Status, ws.base)
 	}
 }
 
@@ -620,44 +930,154 @@ func (e *apiError) Error() string {
 	return fmt.Sprintf("HTTP %d %s: %s", e.Status, e.Code, e.Message)
 }
 
-// post sends one JSON request. It returns (nil, nil) with out decoded on a
-// 2xx, the worker's error envelope on any other status, and a plain error
-// on a network-level failure.
-func (c *coord) post(ctx context.Context, base, path string, in, out any) (*apiError, error) {
+// countReader counts bytes as they stream through.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// workPost sends one /v1/work request with the negotiated wire encodings:
+// the body is gzip-compressed once the worker has advertised X-Work-Gzip
+// (the first request goes plain and learns the capability from the
+// response), responses are requested gzip-encoded, and complete responses
+// are requested as streamed NDJSON — each degrading transparently when the
+// worker predates the encoding. It returns (nil, nil) with out decoded on
+// a 2xx, the worker's error envelope on any other status, and a plain
+// error on a network-level failure. Payload and wire byte counts feed the
+// run summary.
+func (c *coord) workPost(ctx context.Context, ws *workerState, path string, in, out any) (*apiError, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return nil, fmt.Errorf("encoding %s body: %w", path, err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
+	c.bytesOut.Add(int64(len(body)))
+	var rd io.Reader = bytes.NewReader(body)
+	gzipped := false
+	if !c.opts.NoCompression && ws.gzipOK {
+		var zbuf bytes.Buffer
+		zw := gzip.NewWriter(&zbuf)
+		if _, err := zw.Write(body); err == nil && zw.Close() == nil {
+			rd = &zbuf
+			gzipped = true
+			c.bytesOutWire.Add(int64(zbuf.Len()))
+		}
+	}
+	if !gzipped {
+		c.bytesOutWire.Add(int64(len(body)))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ws.base+path, rd)
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if gzipped {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	// Setting Accept-Encoding explicitly disables the transport's hidden
+	// auto-gzip, so the wire counters see what actually crossed the wire
+	// (and identity keeps the uncompressed baseline genuinely uncompressed).
+	if c.opts.NoCompression {
+		req.Header.Set("Accept-Encoding", "identity")
+	} else {
+		req.Header.Set("Accept-Encoding", "gzip")
+	}
+	_, isComplete := out.(*server.CompleteResponse)
+	if isComplete {
+		req.Header.Set("Accept", "application/x-ndjson")
+	}
 	resp, err := c.opts.Client.Do(req)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.Header.Get(server.WorkGzipHeader) == "1" {
+		ws.gzipOK = true
+	}
+
+	wire := &countReader{r: io.LimitReader(resp.Body, 64<<20)}
+	defer func() {
+		c.bytesInWire.Add(wire.n)
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		data, err := io.ReadAll(wire)
+		if err != nil {
+			return nil, err
+		}
+		c.bytesIn.Add(int64(len(data)))
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		_ = json.Unmarshal(data, &env) // a non-JSON error body still reports the status
+		return &apiError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}, nil
+	}
+
+	var stream io.Reader = wire
+	if resp.Header.Get("Content-Encoding") == "gzip" {
+		zr, err := gzip.NewReader(wire)
+		if err != nil {
+			return nil, fmt.Errorf("decoding %s response: %w", path, err)
+		}
+		defer zr.Close()
+		stream = zr
+	}
+	payload := &countReader{r: stream}
+	defer func() {
+		c.bytesIn.Add(payload.n)
+	}()
+	if out == nil {
+		_, err := io.Copy(io.Discard, payload)
 		return nil, err
 	}
-	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-		if out != nil {
-			if err := json.Unmarshal(data, out); err != nil {
-				return nil, fmt.Errorf("decoding %s response: %w", path, err)
-			}
+	if isComplete && strings.HasPrefix(resp.Header.Get("Content-Type"), "application/x-ndjson") {
+		return nil, decodeCompleteStream(payload, out.(*server.CompleteResponse))
+	}
+	if err := json.NewDecoder(payload).Decode(out); err != nil {
+		return nil, fmt.Errorf("decoding %s response: %w", path, err)
+	}
+	return nil, nil
+}
+
+// decodeCompleteStream reassembles a streamed NDJSON complete response —
+// one lease-status line followed by one line per result and ref — into the
+// buffered form the rest of the coordinator consumes. Decoding is
+// line-at-a-time, so a huge lease never materializes twice in memory.
+func decodeCompleteStream(r io.Reader, resp *server.CompleteResponse) error {
+	dec := json.NewDecoder(r)
+	seen := false
+	for {
+		var line server.CompleteLine
+		if err := dec.Decode(&line); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("decoding complete stream: %w", err)
 		}
-		return nil, nil
+		switch {
+		case line.Lease != nil:
+			resp.Lease = *line.Lease
+			resp.WaitMillis = line.WaitMillis
+			seen = true
+		case line.Result != nil:
+			resp.Results = append(resp.Results, *line.Result)
+		case line.Ref != nil:
+			resp.Refs = append(resp.Refs, *line.Ref)
+		}
 	}
-	var env struct {
-		Error struct {
-			Code    string `json:"code"`
-			Message string `json:"message"`
-		} `json:"error"`
+	if !seen {
+		return errors.New("decoding complete stream: no lease status line")
 	}
-	_ = json.Unmarshal(data, &env) // a non-JSON error body still reports the status
-	return &apiError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}, nil
+	return nil
 }
 
 // probe checks worker health with exponential backoff after a transport

@@ -1,0 +1,7 @@
+//go:build race
+
+package fleet_test
+
+// raceEnabled reports whether the race detector is instrumenting this run;
+// timing-sensitive throughput assertions are relaxed under it.
+const raceEnabled = true

@@ -101,12 +101,18 @@ type Server struct {
 	batchResults   atomic.Int64
 	clientsDropped atomic.Int64
 
-	// Work-lease counters for /metrics.
-	leasesAccepted  atomic.Int64
-	leasesCollected atomic.Int64
-	leasesExpired   atomic.Int64
-	cellsExecuted   atomic.Int64
-	cellsFailed     atomic.Int64
+	// Work-lease counters for /metrics. The byte counters track the
+	// /v1/work wire on both sides of the gzip boundary (see WorkMetrics).
+	leasesAccepted   atomic.Int64
+	leasesRenewed    atomic.Int64
+	leasesCollected  atomic.Int64
+	leasesExpired    atomic.Int64
+	cellsExecuted    atomic.Int64
+	cellsFailed      atomic.Int64
+	workBytesIn      atomic.Int64
+	workBytesInWire  atomic.Int64
+	workBytesOut     atomic.Int64
+	workBytesOutWire atomic.Int64
 }
 
 // Option configures a Server under construction.

@@ -23,13 +23,34 @@
 //   - Workers never see the store. They are pure executors; all persistence
 //     and ordering happens at the coordinator, which is what makes retries
 //     and duplicate deliveries converge (dedupe-on-append by fingerprint).
+//
+// The wire is built for throughput on large leases:
+//
+//   - Request bodies may be gzip-compressed (Content-Encoding: gzip); every
+//     /v1/work response carries an X-Work-Gzip: 1 capability header so a
+//     coordinator learns it may compress after its first exchange, keeping
+//     old coordinators against new workers (and vice versa) working.
+//   - /v1/work/complete responses honor Accept-Encoding: gzip, and with
+//     Accept: application/x-ndjson the results are streamed one NDJSON line
+//     at a time (lease line, then result lines in cell order, then ref
+//     lines) instead of one buffered JSON array, so encoding is O(1) in the
+//     lease size on both ends of the connection.
+//   - Re-POSTing a held lease_id renews its TTL (the heartbeat that keeps a
+//     slow-but-alive worker's long lease from being expired mid-execution);
+//     a cells-free body {"lease_id": ...} is the cheap renewal form.
 package server
 
 import (
+	"bytes"
+	"compress/gzip"
 	"context"
+	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"smtmlp"
@@ -41,10 +62,19 @@ const (
 	// DefaultMaxLeases bounds concurrently-held (uncollected) leases.
 	DefaultMaxLeases = 4
 	// DefaultLeaseTTL is how long an uncollected lease survives before the
-	// worker cancels it and drops its state.
+	// worker cancels it and drops its state. A coordinator that needs longer
+	// renews by re-POSTing the lease_id before the TTL elapses.
 	DefaultLeaseTTL = 10 * time.Minute
-	// maxCompleteWait caps the long-poll duration of /v1/work/complete.
+	// maxCompleteWait caps the long-poll duration of /v1/work/complete; a
+	// larger wait_ms is clamped and the effective value returned as the
+	// response's wait_ms field.
 	maxCompleteWait = 30 * time.Second
+	// maxWorkBodyBytes caps a /v1/work request body after gzip decompression
+	// (the wire bytes are capped at maxBodyBytes before inflation).
+	maxWorkBodyBytes = 8 << 20
+	// WorkGzipHeader advertises gzip request-body support on every /v1/work
+	// response, so coordinators can negotiate compression transparently.
+	WorkGzipHeader = "X-Work-Gzip"
 )
 
 // WorkCell is one leased simulation: the campaign's content address plus the
@@ -97,11 +127,29 @@ type WorkResult struct {
 // CompleteResponse is the /v1/work/complete body. Results (in cell order)
 // and Refs (the single-threaded reference profiles this lease's cells
 // needed, sorted by key) are present only once the lease status is "done";
-// a successful collection removes the lease from the worker.
+// a successful collection removes the lease from the worker. WaitMillis is
+// the long-poll wait the server actually applied — the requested wait_ms
+// clamped to the 30s cap — so a coordinator can see its value was trimmed
+// rather than silently honored.
 type CompleteResponse struct {
-	Lease   LeaseStatus         `json:"lease"`
-	Results []WorkResult        `json:"results,omitempty"`
-	Refs    []smtmlp.RefProfile `json:"refs,omitempty"`
+	Lease      LeaseStatus         `json:"lease"`
+	WaitMillis int64               `json:"wait_ms"`
+	Results    []WorkResult        `json:"results,omitempty"`
+	Refs       []smtmlp.RefProfile `json:"refs,omitempty"`
+}
+
+// CompleteLine is one line of a streamed (Accept: application/x-ndjson)
+// /v1/work/complete response; exactly one pointer field is set per line.
+// The first line always carries the lease status plus the effective
+// long-poll wait; when the lease is "done" it is followed by one result
+// line per cell (in cell order) and one ref line per lease-scoped reference
+// profile (in key order). The streamed form carries exactly the same data
+// as the buffered CompleteResponse.
+type CompleteLine struct {
+	Lease      *LeaseStatus       `json:"lease,omitempty"`
+	WaitMillis int64              `json:"wait_ms,omitempty"`
+	Result     *WorkResult        `json:"result,omitempty"`
+	Ref        *smtmlp.RefProfile `json:"ref,omitempty"`
 }
 
 // WorkListResponse is the GET /v1/work body: every lease the worker
@@ -112,14 +160,23 @@ type WorkListResponse struct {
 	Metrics WorkMetrics   `json:"metrics"`
 }
 
-// WorkMetrics are the worker-side lease counters exposed on /metrics.
+// WorkMetrics are the worker-side lease counters exposed on /metrics. The
+// byte counters cover the /v1/work wire: BytesIn/BytesOut count the JSON
+// bytes before compression (request) / after encoding (response), and the
+// Wire variants count what actually crossed the socket — their ratio is the
+// compression factor the fleet transfer is achieving on this worker.
 type WorkMetrics struct {
 	LeasesAccepted  int64 `json:"leases_accepted"`
 	LeasesActive    int64 `json:"leases_active"`
+	LeasesRenewed   int64 `json:"leases_renewed"`
 	LeasesCollected int64 `json:"leases_collected"`
 	LeasesExpired   int64 `json:"leases_expired"`
 	CellsExecuted   int64 `json:"cells_executed"`
 	CellsFailed     int64 `json:"cells_failed"`
+	BytesIn         int64 `json:"bytes_in"`
+	BytesInWire     int64 `json:"bytes_in_wire"`
+	BytesOut        int64 `json:"bytes_out"`
+	BytesOutWire    int64 `json:"bytes_out_wire"`
 }
 
 // workLease is the server-side state of one lease.
@@ -133,10 +190,22 @@ type workLease struct {
 	failed   int
 	results  []WorkResult
 	refs     []smtmlp.RefProfile
+	deadline time.Time // expiry deadline; pushed forward by renewals
 
 	cancel context.CancelFunc
 	expire *time.Timer
 	done   chan struct{} // closed when the execution goroutine finishes
+}
+
+// renew pushes the lease's expiry deadline ttl into the future and re-arms
+// the timer. It is safe against a concurrently-firing expiry: expireLease
+// re-checks the deadline under the lease lock and re-arms instead of
+// expiring when a renewal got there first.
+func (l *workLease) renew(ttl time.Duration) {
+	l.mu.Lock()
+	l.deadline = time.Now().Add(ttl)
+	l.mu.Unlock()
+	l.expire.Reset(ttl)
 }
 
 // snapshot renders the lease under its lock.
@@ -152,17 +221,92 @@ func (l *workLease) snapshot() LeaseStatus {
 	}
 }
 
-// handleWorkLease accepts (or idempotently re-acknowledges) a lease and
-// starts executing it on the server's lifecycle context.
+// decodeWorkBody decodes a /v1/work request body, transparently inflating
+// a Content-Encoding: gzip payload, and counts both the wire bytes and the
+// decoded JSON bytes for /metrics.
+func (s *Server) decodeWorkBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeInvalidRequest,
+				"request body exceeds %d bytes", tooLarge.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, "reading request body: %v", err)
+		}
+		return false
+	}
+	s.workBytesInWire.Add(int64(len(raw)))
+	body := raw
+	if enc := r.Header.Get("Content-Encoding"); enc != "" {
+		if !strings.EqualFold(enc, "gzip") {
+			writeError(w, http.StatusUnsupportedMediaType, CodeInvalidRequest,
+				"unsupported Content-Encoding %q (gzip or identity)", enc)
+			return false
+		}
+		zr, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, "malformed gzip body: %v", err)
+			return false
+		}
+		// Cap the inflated size too, so a tiny wire body cannot decompress
+		// into an allocation bomb.
+		body, err = io.ReadAll(io.LimitReader(zr, maxWorkBodyBytes+1))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, "decompressing request body: %v", err)
+			return false
+		}
+		if len(body) > maxWorkBodyBytes {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeInvalidRequest,
+				"decompressed request body exceeds %d bytes", maxWorkBodyBytes)
+			return false
+		}
+	}
+	s.workBytesIn.Add(int64(len(body)))
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "decoding request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// handleWorkLease accepts a lease, renews one the worker already holds (the
+// idempotent re-POST doubles as the coordinator's TTL heartbeat), and
+// starts executing fresh leases on the server's lifecycle context.
 func (s *Server) handleWorkLease(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(WorkGzipHeader, "1")
 	var lr LeaseRequest
-	if !decodeBody(w, r, &lr) {
+	if !s.decodeWorkBody(w, r, &lr) {
 		return
 	}
 	if lr.LeaseID == "" {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "lease has no lease_id")
 		return
 	}
+
+	ttl := s.leaseTTL
+	if lr.TTLMillis > 0 {
+		if reqTTL := time.Duration(lr.TTLMillis) * time.Millisecond; reqTTL < ttl {
+			ttl = reqTTL
+		}
+	}
+
+	// Renewal / idempotent re-delivery: a lease the worker already holds is
+	// acknowledged with its live snapshot and its TTL pushed forward —
+	// checked before cell validation so the cells-free heartbeat form
+	// {"lease_id": ...} works and costs nothing.
+	s.mu.Lock()
+	if existing, ok := s.leases[lr.LeaseID]; ok {
+		existing.renew(ttl)
+		s.mu.Unlock()
+		s.leasesRenewed.Add(1)
+		writeJSON(w, existing.snapshot())
+		return
+	}
+	s.mu.Unlock()
+
 	if len(lr.Cells) == 0 {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "lease %q has no cells", lr.LeaseID)
 		return
@@ -195,19 +339,13 @@ func (s *Server) handleWorkLease(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	ttl := s.leaseTTL
-	if lr.TTLMillis > 0 {
-		if reqTTL := time.Duration(lr.TTLMillis) * time.Millisecond; reqTTL < ttl {
-			ttl = reqTTL
-		}
-	}
-
 	s.mu.Lock()
 	if existing, ok := s.leases[lr.LeaseID]; ok {
-		// Idempotent re-delivery: the coordinator re-sent a lease we already
-		// hold (its 202 was lost, or it is hedging). Acknowledge without
-		// restarting.
+		// A concurrent re-POST of the same lease raced us past the renewal
+		// check above; acknowledge and renew it without restarting.
+		existing.renew(ttl)
 		s.mu.Unlock()
+		s.leasesRenewed.Add(1)
 		writeJSON(w, existing.snapshot())
 		return
 	}
@@ -226,11 +364,12 @@ func (s *Server) handleWorkLease(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	lease := &workLease{
-		id:     lr.LeaseID,
-		cells:  lr.Cells,
-		status: "running",
-		cancel: cancel,
-		done:   make(chan struct{}),
+		id:       lr.LeaseID,
+		cells:    lr.Cells,
+		status:   "running",
+		deadline: time.Now().Add(ttl),
+		cancel:   cancel,
+		done:     make(chan struct{}),
 	}
 	lease.expire = time.AfterFunc(ttl, func() { s.expireLease(lease) })
 	s.leases[lr.LeaseID] = lease
@@ -254,11 +393,21 @@ func (l *workLease) snapshotStatus() string {
 
 // expireLease is the TTL path: cancel execution, drop the lease state and
 // count it. A lease that finished collection just before the timer fired is
-// already gone from the map and is not double-counted.
+// already gone from the map and is not double-counted; a lease whose
+// deadline a renewal pushed forward after this timer was armed is re-armed
+// for the remainder instead of expired.
 func (s *Server) expireLease(lease *workLease) {
 	s.mu.Lock()
 	if _, ok := s.leases[lease.id]; !ok {
 		s.mu.Unlock()
+		return
+	}
+	lease.mu.Lock()
+	remaining := time.Until(lease.deadline)
+	lease.mu.Unlock()
+	if remaining > 0 {
+		s.mu.Unlock()
+		lease.expire.Reset(remaining)
 		return
 	}
 	delete(s.leases, lease.id)
@@ -348,14 +497,23 @@ func leaseRefs(eng *smtmlp.Engine, cells []WorkCell) []smtmlp.RefProfile {
 
 // handleWorkComplete long-polls one lease and, once it is done, hands the
 // results (and lease-scoped reference profiles) to the coordinator and
-// forgets the lease.
+// forgets the lease. The response honors Accept: application/x-ndjson
+// (streamed, one line per result) and Accept-Encoding: gzip; absent those
+// headers it is the buffered JSON body old coordinators expect.
 func (s *Server) handleWorkComplete(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(WorkGzipHeader, "1")
 	var cr CompleteRequest
-	if !decodeBody(w, r, &cr) {
+	if !s.decodeWorkBody(w, r, &cr) {
 		return
 	}
 	if cr.LeaseID == "" {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "complete has no lease_id")
+		return
+	}
+	if cr.WaitMillis < 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+			"wait_ms %d is negative; use 0 (answer immediately) up to the %dms cap",
+			cr.WaitMillis, maxCompleteWait.Milliseconds())
 		return
 	}
 	s.mu.Lock()
@@ -367,10 +525,13 @@ func (s *Server) handleWorkComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if wait := time.Duration(cr.WaitMillis) * time.Millisecond; wait > 0 {
-		if wait > maxCompleteWait {
-			wait = maxCompleteWait
-		}
+	// Clamp silently-unbounded waits to the cap; the effective value is
+	// echoed in the response so the trim is visible to the coordinator.
+	wait := time.Duration(cr.WaitMillis) * time.Millisecond
+	if wait > maxCompleteWait {
+		wait = maxCompleteWait
+	}
+	if wait > 0 {
 		timer := time.NewTimer(wait)
 		select {
 		case <-lease.done:
@@ -388,7 +549,7 @@ func (s *Server) handleWorkComplete(w http.ResponseWriter, r *http.Request) {
 		Executed: lease.executed,
 		Failed:   lease.failed,
 	}
-	resp := CompleteResponse{Lease: status}
+	resp := CompleteResponse{Lease: status, WaitMillis: wait.Milliseconds()}
 	if status.Status == "done" {
 		resp.Results = lease.results
 		resp.Refs = lease.refs
@@ -407,12 +568,59 @@ func (s *Server) handleWorkComplete(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		lease.expire.Stop()
 	}
-	writeJSON(w, resp)
+	s.writeCompleteResponse(w, r, resp)
+}
+
+// countWriter counts the bytes written through it into an atomic counter.
+type countWriter struct {
+	n *atomic.Int64
+	w io.Writer
+}
+
+func (cw countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(int64(n))
+	return n, err
+}
+
+// writeCompleteResponse encodes the /v1/work/complete response per the
+// request's negotiation headers. With Accept: application/x-ndjson the body
+// streams one CompleteLine at a time — encoding cost is O(1) in the lease
+// size instead of one giant buffered array — and with Accept-Encoding: gzip
+// it is compressed on the wire. Both byte counters (pre- and
+// post-compression) feed /metrics.
+func (s *Server) writeCompleteResponse(w http.ResponseWriter, r *http.Request, resp CompleteResponse) {
+	ndjson := strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	var out io.Writer = countWriter{&s.workBytesOutWire, w}
+	if strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		w.Header().Set("Content-Encoding", "gzip")
+		zw := gzip.NewWriter(out)
+		defer zw.Close()
+		out = zw
+	}
+	enc := json.NewEncoder(countWriter{&s.workBytesOut, out})
+	if !ndjson {
+		enc.Encode(resp)
+		return
+	}
+	enc.Encode(CompleteLine{Lease: &resp.Lease, WaitMillis: resp.WaitMillis})
+	for i := range resp.Results {
+		enc.Encode(CompleteLine{Result: &resp.Results[i]})
+	}
+	for i := range resp.Refs {
+		enc.Encode(CompleteLine{Ref: &resp.Refs[i]})
+	}
 }
 
 // handleWorkList reports every lease the worker holds plus the lifetime
 // counters.
 func (s *Server) handleWorkList(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set(WorkGzipHeader, "1")
 	s.mu.Lock()
 	var held []*workLease
 	live := s.leaseOrder[:0]
@@ -439,10 +647,15 @@ func (s *Server) workMetrics() WorkMetrics {
 	return WorkMetrics{
 		LeasesAccepted:  s.leasesAccepted.Load(),
 		LeasesActive:    active,
+		LeasesRenewed:   s.leasesRenewed.Load(),
 		LeasesCollected: s.leasesCollected.Load(),
 		LeasesExpired:   s.leasesExpired.Load(),
 		CellsExecuted:   s.cellsExecuted.Load(),
 		CellsFailed:     s.cellsFailed.Load(),
+		BytesIn:         s.workBytesIn.Load(),
+		BytesInWire:     s.workBytesInWire.Load(),
+		BytesOut:        s.workBytesOut.Load(),
+		BytesOutWire:    s.workBytesOutWire.Load(),
 	}
 }
 

@@ -6,10 +6,14 @@
 package server_test
 
 import (
+	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -269,6 +273,214 @@ func TestWorkLeaseCanceledOnShutdown(t *testing.T) {
 	if resp.Lease.Status != "canceled" || resp.Results != nil {
 		t.Fatalf("post-shutdown lease %+v with %d results", resp.Lease, len(resp.Results))
 	}
+}
+
+// TestWorkCompleteWaitValidation pins the wait_ms contract: negative values
+// are rejected up front, and the effective (clamped) wait is echoed in the
+// response instead of being silently trimmed to the 30s cap.
+func TestWorkCompleteWaitValidation(t *testing.T) {
+	srv := server.New(testEngine())
+	const instructions, warmup = 5_000, 1_000
+	lr := server.LeaseRequest{
+		LeaseID: "w1", Instructions: instructions, Warmup: warmup,
+		Cells: leaseCells(instructions, warmup, []string{"mcf", "galgel"}),
+	}
+	if rec := post(t, srv, "/v1/work/lease", leaseBody(t, lr)); rec.Code != http.StatusAccepted {
+		t.Fatalf("lease status %d", rec.Code)
+	}
+
+	wantError(t, post(t, srv, "/v1/work/complete", `{"lease_id":"w1","wait_ms":-5}`),
+		http.StatusBadRequest, server.CodeInvalidRequest)
+
+	// An in-cap wait is echoed verbatim; an over-cap wait comes back clamped
+	// to 30s. The lease finishes during the first long-poll, so neither
+	// request actually sleeps its full wait.
+	var resp server.CompleteResponse
+	decodeInto(t, post(t, srv, "/v1/work/complete", `{"lease_id":"w1","wait_ms":1000}`), &resp)
+	if resp.WaitMillis != 1000 {
+		t.Fatalf("wait_ms 1000 echoed as %d", resp.WaitMillis)
+	}
+	for resp.Lease.Status == "running" {
+		decodeInto(t, post(t, srv, "/v1/work/complete", `{"lease_id":"w1","wait_ms":60000}`), &resp)
+		if resp.WaitMillis != 30000 {
+			t.Fatalf("wait_ms 60000 should clamp to 30000, got %d", resp.WaitMillis)
+		}
+	}
+	if resp.Lease.Status != "done" {
+		t.Fatalf("lease ended %q", resp.Lease.Status)
+	}
+}
+
+// TestWorkLeaseRenewalOutlivesTTL is the TTL-vs-slow-worker regression: a
+// lease whose execution takes far longer than the server TTL must survive —
+// and commit — as long as the coordinator heartbeats it with idempotent
+// cells-free re-POSTs.
+func TestWorkLeaseRenewalOutlivesTTL(t *testing.T) {
+	srv := server.New(testEngine(smtmlp.WithParallelism(1)),
+		server.WithLeaseTTL(75*time.Millisecond), server.WithBaseContext(context.Background()))
+	const instructions, warmup = 300_000, 50_000 // execution far exceeds the 75ms TTL
+	cells := leaseCells(instructions, warmup, []string{"mcf", "galgel"})
+	lr := server.LeaseRequest{LeaseID: "rn1", Instructions: instructions, Warmup: warmup, Cells: cells}
+	if rec := post(t, srv, "/v1/work/lease", leaseBody(t, lr)); rec.Code != http.StatusAccepted {
+		t.Fatalf("lease status %d", rec.Code)
+	}
+
+	// Heartbeat at TTL/3 until the worker reports the lease done. Each renew
+	// is the cheap form: lease_id only, no cells.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		time.Sleep(25 * time.Millisecond)
+		rec := post(t, srv, "/v1/work/lease", `{"lease_id":"rn1"}`)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("renew status %d, body %s", rec.Code, rec.Body)
+		}
+		var status server.LeaseStatus
+		if err := json.Unmarshal(rec.Body.Bytes(), &status); err != nil {
+			t.Fatal(err)
+		}
+		if status.Status == "done" {
+			break
+		}
+		if status.Status != "running" {
+			t.Fatalf("renewed lease ended %q before collection", status.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lease never finished")
+		}
+	}
+
+	resp := collect(t, srv, "rn1")
+	if resp.Lease.Status != "done" || len(resp.Results) != len(cells) {
+		t.Fatalf("renewed lease collected %+v with %d results", resp.Lease, len(resp.Results))
+	}
+	var list server.WorkListResponse
+	decodeInto(t, get(t, srv, "/v1/work"), &list)
+	if list.Metrics.LeasesExpired != 0 || list.Metrics.LeasesRenewed == 0 || list.Metrics.LeasesCollected != 1 {
+		t.Fatalf("renewal metrics %+v", list.Metrics)
+	}
+}
+
+// TestWorkGzipNDJSONRoundTrip drives the compressed streaming wire end to
+// end: a gzip lease body in, a gzip NDJSON complete response out, asserting
+// the streamed lines reassemble into exactly the payload the plain JSON
+// wire produces, and that /metrics accounts bytes on both sides of the
+// compression boundary.
+func TestWorkGzipNDJSONRoundTrip(t *testing.T) {
+	const instructions, warmup = 5_000, 1_000
+	cells := leaseCells(instructions, warmup, []string{"mcf", "galgel"}, []string{"swim", "twolf"})
+
+	// Ground truth: the same lease over the plain buffered wire.
+	plain := collectOn(t, server.New(testEngine()), "g1", cells, instructions, warmup)
+
+	srv := server.New(testEngine())
+	var zbody bytes.Buffer
+	zw := gzip.NewWriter(&zbody)
+	if _, err := zw.Write([]byte(leaseBody(t, server.LeaseRequest{
+		LeaseID: "g1", Instructions: instructions, Warmup: warmup, Cells: cells,
+	}))); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/work/lease", &zbody)
+	req.Header.Set("Content-Encoding", "gzip")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("gzip lease status %d, body %s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("X-Work-Gzip") != "1" {
+		t.Fatal("lease response does not advertise gzip support")
+	}
+
+	// Collect over the streamed compressed wire.
+	var got server.CompleteResponse
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		req := httptest.NewRequest("POST", "/v1/work/complete",
+			strings.NewReader(`{"lease_id":"g1","wait_ms":1000}`))
+		req.Header.Set("Accept", "application/x-ndjson")
+		req.Header.Set("Accept-Encoding", "gzip")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("complete status %d, body %s", rec.Code, rec.Body)
+		}
+		if rec.Header().Get("Content-Encoding") != "gzip" ||
+			rec.Header().Get("Content-Type") != "application/x-ndjson" {
+			t.Fatalf("negotiated headers %v", rec.Header())
+		}
+		zr, err := gzip.NewReader(rec.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := json.NewDecoder(zr)
+		got = server.CompleteResponse{}
+		for {
+			var line server.CompleteLine
+			if err := dec.Decode(&line); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("decoding NDJSON line: %v", err)
+			}
+			switch {
+			case line.Lease != nil:
+				got.Lease = *line.Lease
+				got.WaitMillis = line.WaitMillis
+			case line.Result != nil:
+				got.Results = append(got.Results, *line.Result)
+			case line.Ref != nil:
+				got.Refs = append(got.Refs, *line.Ref)
+			}
+		}
+		if got.Lease.Status != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lease never finished")
+		}
+	}
+
+	// The streamed lines must reassemble to exactly the buffered payload.
+	if got.Lease.Status != "done" || got.WaitMillis != 1000 {
+		t.Fatalf("streamed lease %+v wait %d", got.Lease, got.WaitMillis)
+	}
+	wantJSON, _ := json.Marshal(struct {
+		R []server.WorkResult
+		F []smtmlp.RefProfile
+	}{plain.Results, plain.Refs})
+	gotJSON, _ := json.Marshal(struct {
+		R []server.WorkResult
+		F []smtmlp.RefProfile
+	}{got.Results, got.Refs})
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("streamed payload diverges from buffered payload\nplain: %s\nndjson: %s", wantJSON, gotJSON)
+	}
+
+	// Byte accounting: the wire side of the compressed legs must be smaller
+	// than the JSON side.
+	var list server.WorkListResponse
+	decodeInto(t, get(t, srv, "/v1/work"), &list)
+	m := list.Metrics
+	if m.BytesIn == 0 || m.BytesInWire == 0 || m.BytesInWire >= m.BytesIn {
+		t.Fatalf("request compression not accounted: bytes_in=%d bytes_in_wire=%d", m.BytesIn, m.BytesInWire)
+	}
+	if m.BytesOut == 0 || m.BytesOutWire == 0 || m.BytesOutWire >= m.BytesOut {
+		t.Fatalf("response compression not accounted: bytes_out=%d bytes_out_wire=%d", m.BytesOut, m.BytesOutWire)
+	}
+}
+
+// collectOn leases cells onto srv under the given id and collects them over
+// the plain buffered JSON wire.
+func collectOn(t *testing.T, srv *server.Server, leaseID string, cells []server.WorkCell,
+	instructions, warmup uint64) server.CompleteResponse {
+	t.Helper()
+	lr := server.LeaseRequest{LeaseID: leaseID, Instructions: instructions, Warmup: warmup, Cells: cells}
+	if rec := post(t, srv, "/v1/work/lease", leaseBody(t, lr)); rec.Code != http.StatusAccepted {
+		t.Fatalf("lease status %d, body %s", rec.Code, rec.Body)
+	}
+	return collect(t, srv, leaseID)
 }
 
 // TestWorkLeaseRefsAreScoped pins the refs filter: traffic at another budget
