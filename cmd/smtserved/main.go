@@ -6,11 +6,24 @@
 //
 //	smtserved [-addr :8344] [-instructions N] [-warmup N] [-parallelism N]
 //	          [-cache-size N] [-max-batch N] [-max-threads N] [-store DIR]
-//	          [-max-leases N] [-lease-ttl D]
+//	          [-max-leases N] [-lease-ttl D] [-tenants FILE]
+//	          [-read-header-timeout D]
 //
 // With -store, the server opens the persistent result store at DIR,
 // warm-starts its reference cache from it, and enables the asynchronous
 // campaign endpoints (POST/GET /v1/campaigns) backed by the same store.
+//
+// With -tenants, the server is multi-tenant: FILE (see internal/tenant's
+// Config) declares API-keyed tenants with per-tenant rate limits, concurrency
+// quotas and scheduling weights. Every /v1 request must then authenticate
+// (Authorization: Bearer <key> or X-API-Key), admission enforces the tenant's
+// limits (429 with a typed body and an honest Retry-After), and a weighted
+// scheduler arbitrates the engine's simulation slots across tenants so
+// interactive /v1/run traffic preempts bulk campaign and lease cells at the
+// next slot boundary. SIGHUP re-reads FILE and swaps the tenant set
+// atomically — in-flight work finishes under the limits it was admitted with,
+// and a bad edit leaves the previous set installed. Without -tenants the
+// server is single-tenant and behaves exactly as before.
 //
 // Every smtserved is also a fleet worker: the /v1/work lease endpoints let a
 // cmd/smtfleet coordinator drive this process as one executor of a
@@ -45,12 +58,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"smtmlp"
 	"smtmlp/internal/server"
 	"smtmlp/internal/store"
+	"smtmlp/internal/tenant"
 )
 
 func main() {
@@ -71,8 +86,37 @@ func run(ctx context.Context, args []string, out io.Writer) int {
 	storeDir := fs.String("store", "", "result store directory enabling the /v1/campaigns endpoints (empty = campaigns disabled)")
 	maxLeases := fs.Int("max-leases", server.DefaultMaxLeases, "max concurrently-held fleet work leases")
 	leaseTTL := fs.Duration("lease-ttl", server.DefaultLeaseTTL, "max lifetime of an uncollected work lease")
+	tenantsPath := fs.String("tenants", "", "tenant config JSON enabling multi-tenant auth, quotas and slot scheduling (empty = single-tenant)")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 10*time.Second, "max time to read a request's headers before the connection is reaped")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// The tenant table and slot scheduler are built before the engine because
+	// the scheduler is the engine's slot gate: every simulation the engine
+	// admits passes through it.
+	var tbl *tenant.Table
+	var gate smtmlp.SlotGate
+	if *tenantsPath != "" {
+		var err error
+		tbl, err = tenant.Load(*tenantsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		slots := tbl.Slots()
+		if slots <= 0 {
+			// Default the slot pool to the simulation parallelism: the gate
+			// then never throttles a lone tenant below full capacity, it only
+			// decides who gets the slots under contention.
+			if slots = *parallelism; slots <= 0 {
+				slots = runtime.GOMAXPROCS(0)
+			}
+		}
+		sched := tenant.NewScheduler(slots, tbl.Boost())
+		gate = sched
+		fmt.Fprintf(out, "smtserved multi-tenant: %d tenants, %d engine slots\n",
+			len(tbl.Tenants()), sched.Capacity())
 	}
 
 	eng := smtmlp.NewEngine(
@@ -80,6 +124,7 @@ func run(ctx context.Context, args []string, out io.Writer) int {
 		smtmlp.WithWarmup(*warmup),
 		smtmlp.WithParallelism(*parallelism),
 		smtmlp.WithCacheSize(*cacheSize),
+		smtmlp.WithSlotGate(gate),
 	)
 	opts := []server.Option{
 		server.WithMaxBatch(*maxBatch),
@@ -90,6 +135,28 @@ func run(ctx context.Context, args []string, out io.Writer) int {
 		// interrupts them cleanly; a re-POSTed spec resumes from the store and
 		// a canceled lease is re-dispatched by its coordinator.
 		server.WithBaseContext(ctx),
+	}
+	if tbl != nil {
+		opts = append(opts, server.WithTenants(tbl, gate))
+		// SIGHUP hot-reloads the tenant file. A failed reload (bad edit,
+		// missing file) keeps the current tenant set and only logs.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for {
+				select {
+				case <-hup:
+					if err := tbl.Reload(); err != nil {
+						fmt.Fprintf(out, "smtserved tenant reload failed (keeping current set): %v\n", err)
+					} else {
+						fmt.Fprintf(out, "smtserved reloaded %d tenants from %s\n", len(tbl.Tenants()), *tenantsPath)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
 	}
 	var handler *server.Server
 	// Leases execute detached from any HTTP request; wait for them to observe
@@ -131,8 +198,13 @@ func run(ctx context.Context, args []string, out io.Writer) int {
 		return 1
 	}
 	srv := &http.Server{
-		Handler:           handler,
-		ReadHeaderTimeout: 10 * time.Second,
+		Handler: handler,
+		// Self-protection against misbehaving clients: a connection that
+		// stalls mid-header is reaped, idle keep-alive connections are closed
+		// eventually, and header blocks are capped well under the default 1MB.
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    64 << 10,
 		// Tie every request context to the signal context: on SIGINT/SIGTERM
 		// in-flight simulations cancel and batch pools drain instead of
 		// holding shutdown hostage.

@@ -5,10 +5,15 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -104,6 +109,152 @@ func TestServedEndToEnd(t *testing.T) {
 	resp.Body.Close()
 	if n := bytes.Count(bytes.TrimSpace(body), []byte("\n")) + 1; resp.StatusCode != http.StatusOK || n != 2 {
 		t.Fatalf("batch status %d, %d lines: %s", resp.StatusCode, n, body)
+	}
+
+	http.DefaultClient.CloseIdleConnections()
+	if code := shutdown(); code != 0 {
+		t.Fatalf("shutdown exit code %d", code)
+	}
+}
+
+// TestServedStalledHeaderReaped proves the hardened http.Server reaps a
+// connection that opens and then never finishes sending its request headers
+// (a slow-loris client): the read side observes the close well before the
+// server's shutdown machinery is involved.
+func TestServedStalledHeaderReaped(t *testing.T) {
+	url, shutdown := startServed(t, "-read-header-timeout", "300ms")
+	defer shutdown()
+
+	conn, err := net.Dial("tcp", strings.TrimPrefix(url, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A started-but-never-finished header block: no terminating blank line.
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: stalled\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	start := time.Now()
+	n, err := conn.Read(make([]byte, 512))
+	if err == nil || n > 0 {
+		t.Fatalf("stalled connection got a response (%d bytes, err %v); want server-side close", n, err)
+	}
+	if os.IsTimeout(err) {
+		t.Fatalf("server never reaped the stalled connection (read timed out after %v)", time.Since(start))
+	}
+}
+
+// writeTenants writes a tenants.json and returns its path.
+func writeTenants(t *testing.T, path, content string) string {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestServedTenantsEndToEnd boots a multi-tenant server from a tenants.json
+// and walks the admission surface over real TCP: unauthenticated 401s,
+// authenticated runs, an exhausted token bucket's 429 with its Retry-After
+// header, per-tenant /metrics rows, and a SIGHUP hot reload that makes a
+// freshly added API key resolve without a restart.
+func TestServedTenantsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end server test runs real simulations")
+	}
+	cfgPath := writeTenants(t, filepath.Join(t.TempDir(), "tenants.json"), `{
+		"tenants": [
+			{"key": "k-ada", "name": "ada", "weight": 4, "rate": 0.2, "burst": 1},
+			{"key": "k-bulk", "name": "bulk", "weight": 1}
+		]
+	}`)
+	url, shutdown := startServed(t, "-instructions", "6000", "-warmup", "1500", "-tenants", cfgPath)
+
+	do := func(key, path, body string) (*http.Response, string) {
+		t.Helper()
+		req, err := http.NewRequest("POST", url+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != "" {
+			req.Header.Set("X-API-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(b)
+	}
+	runBody := `{"benchmarks":["mcf","galgel"],"policy":"icount"}`
+
+	// No key: 401 with the typed body and a challenge header.
+	resp, body := do("", "/v1/run", runBody)
+	if resp.StatusCode != http.StatusUnauthorized || !strings.Contains(body, `"unauthorized"`) {
+		t.Fatalf("no-key run: status %d body %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("WWW-Authenticate") == "" {
+		t.Fatal("401 carries no WWW-Authenticate challenge")
+	}
+
+	// ada's burst of 1: the first run is admitted, the immediate second one
+	// is rate-limited with an honest Retry-After.
+	resp, body = do("k-ada", "/v1/run", runBody)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"stp"`) {
+		t.Fatalf("authenticated run: status %d body %s", resp.StatusCode, body)
+	}
+	resp, body = do("k-ada", "/v1/run", runBody)
+	if resp.StatusCode != http.StatusTooManyRequests || !strings.Contains(body, `"rate_limited"`) {
+		t.Fatalf("burst run: status %d body %s", resp.StatusCode, body)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("429 Retry-After %q; want a positive integer", resp.Header.Get("Retry-After"))
+	}
+
+	// bulk's bucket is independent (and unlimited).
+	if resp, body = do("k-bulk", "/v1/run", runBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("bulk tenant run: status %d body %s", resp.StatusCode, body)
+	}
+
+	// /metrics (outside /v1, no auth) carries one row per tenant.
+	mresp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{`"tenants"`, `"ada"`, `"bulk"`, `"rate_limited":1`} {
+		if !strings.Contains(string(mbody), want) {
+			t.Fatalf("/metrics missing %s: %s", want, mbody)
+		}
+	}
+
+	// Hot reload: an unknown key stays 401 until the file gains it and
+	// SIGHUP swaps the new tenant set in.
+	if resp, _ = do("k-carol", "/v1/run", runBody); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("pre-reload carol: status %d; want 401", resp.StatusCode)
+	}
+	writeTenants(t, cfgPath, `{
+		"tenants": [
+			{"key": "k-ada", "name": "ada", "weight": 4, "rate": 0.2, "burst": 1},
+			{"key": "k-bulk", "name": "bulk", "weight": 1},
+			{"key": "k-carol", "name": "carol"}
+		]
+	}`)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if resp, body = do("k-carol", "/v1/run", runBody); resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("carol never resolved after SIGHUP reload: status %d body %s", resp.StatusCode, body)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 
 	http.DefaultClient.CloseIdleConnections()

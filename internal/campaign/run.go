@@ -94,6 +94,11 @@ type Options struct {
 	Cache *smtmlp.Cache
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// Gate, when set, admits each cell at the engine-slot boundary (the
+	// multi-tenant scheduler of a service hosting this campaign). Gating
+	// reorders execution only; commits stay in submission order, so the
+	// store bytes are identical with or without a gate.
+	Gate smtmlp.SlotGate
 	// Progress, when set, is invoked after every cell is accounted for
 	// (persisted, skipped or failed). Calls are sequential.
 	Progress func(Progress)
@@ -161,6 +166,7 @@ func Run(ctx context.Context, st *store.Store, spec Spec, opts Options) (Summary
 		smtmlp.WithWarmup(warmup),
 		smtmlp.WithParallelism(opts.Parallelism),
 		smtmlp.WithCache(opts.Cache),
+		smtmlp.WithSlotGate(opts.Gate),
 	)
 	sum.RefsSeeded = eng.Cache().Seed(st.Refs())
 	_, missesBefore, _ := eng.Cache().Stats()

@@ -9,12 +9,14 @@ import (
 
 	"smtmlp"
 	"smtmlp/internal/campaign"
+	"smtmlp/internal/tenant"
 )
 
 // campaignRun is the server-side state of one asynchronous campaign.
 type campaignRun struct {
-	id   string
-	spec campaign.Spec
+	id     string
+	spec   campaign.Spec
+	tenant *tenant.Tenant // creator; nil on untenanted servers
 
 	mu       sync.Mutex
 	status   string // "running", "done", "canceled", "failed"
@@ -22,6 +24,13 @@ type campaignRun struct {
 	summary  campaign.Summary
 	errMsg   string
 	done     chan struct{} // closed when the campaign goroutine finishes
+}
+
+// snapshotStatus reads the run's status under its lock.
+func (c *campaignRun) snapshotStatus() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.status
 }
 
 // CampaignStatus is the JSON shape of one campaign in GET responses and the
@@ -128,6 +137,10 @@ func (s *Server) handleCampaignCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	t, _ := tenant.FromContext(r.Context())
+	if !s.takeToken(w, t) {
+		return
+	}
 	skipped := 0
 	for _, fp := range fps {
 		if s.store.Has(fp) {
@@ -141,7 +154,23 @@ func (s *Server) handleCampaignCreate(w http.ResponseWriter, r *http.Request) {
 		progress: campaign.Progress{Total: len(reqs), Skipped: skipped},
 		done:     make(chan struct{}),
 	}
+	if s.tenants != nil {
+		run.tenant = t
+	}
 	s.mu.Lock()
+	// The quota check and the registration are one critical section, so two
+	// racing creates cannot both sneak under the limit.
+	if limit := t.Limits.MaxCampaigns; s.tenants != nil && limit > 0 && s.activeCampaignsFor(t) >= limit {
+		s.mu.Unlock()
+		t.CountQuotaDenied()
+		writeError(w, http.StatusTooManyRequests, CodeQuotaExceeded,
+			"tenant %q already has %d running campaigns (limit %d); wait for one to finish",
+			t.Name, limit, limit)
+		return
+	}
+	if s.tenants != nil {
+		t.CountAdmitted()
+	}
 	s.nextID++
 	run.id = fmt.Sprintf("c%d", s.nextID)
 	s.campaigns[run.id] = run
@@ -160,9 +189,17 @@ func (s *Server) handleCampaignCreate(w http.ResponseWriter, r *http.Request) {
 // /v1/run and /v1/batch all warm each other.
 func (s *Server) runCampaign(run *campaignRun) {
 	defer close(run.done)
-	sum, err := campaign.Run(s.baseCtx, s.store, run.spec, campaign.Options{
+	ctx := s.baseCtx
+	if run.tenant != nil {
+		// Campaign cells compete for engine slots as the creator's bulk work,
+		// so a running campaign cannot starve other tenants' interactive
+		// traffic.
+		ctx = tenant.NewContext(ctx, run.tenant, tenant.Bulk)
+	}
+	sum, err := campaign.Run(ctx, s.store, run.spec, campaign.Options{
 		Cache:       s.eng.Cache(),
 		Parallelism: s.eng.Parallelism(),
+		Gate:        s.gate,
 		Progress: func(p campaign.Progress) {
 			run.mu.Lock()
 			run.progress = p

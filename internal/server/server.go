@@ -43,6 +43,7 @@ import (
 
 	"smtmlp"
 	"smtmlp/internal/store"
+	"smtmlp/internal/tenant"
 )
 
 // Defaults for the request-validation bounds.
@@ -70,6 +71,16 @@ const (
 	CodeWorkerBusy       = "worker_busy"
 	CodeCanceled         = "canceled"
 	CodeInternal         = "internal"
+
+	// Tenancy codes (servers running with a tenant table): unauthorized is
+	// the 401 for a missing/unknown API key; rate_limited is the 429 for a
+	// drained token bucket (with an honest Retry-After header); and
+	// quota_exceeded is the 429 for a concurrency quota (in-flight cells,
+	// campaigns, leases) — no Retry-After, because quota frees when work
+	// finishes, not with time.
+	CodeUnauthorized  = "unauthorized"
+	CodeRateLimited   = "rate_limited"
+	CodeQuotaExceeded = "quota_exceeded"
 )
 
 // Server is the HTTP surface over one long-lived Engine. It implements
@@ -95,11 +106,19 @@ type Server struct {
 	maxLeases  int
 	leaseTTL   time.Duration
 
+	// Multi-tenancy (nil table = single-tenant: no auth, no admission, no
+	// slot scheduling — see tenancy.go). gate is shared with the service
+	// engine and installed on per-lease and campaign engines so every
+	// simulation cell passes the same tenant scheduler.
+	tenants *tenant.Table
+	gate    smtmlp.SlotGate
+
 	// Server-level counters for /metrics.
 	requestsTotal  atomic.Int64
 	batchesActive  atomic.Int64
 	batchResults   atomic.Int64
 	clientsDropped atomic.Int64
+	unauthorized   atomic.Int64
 
 	// Work-lease counters for /metrics. The byte counters track the
 	// /v1/work wire on both sides of the gzip boundary (see WorkMetrics).
@@ -211,9 +230,15 @@ func New(eng *smtmlp.Engine, opts ...Option) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. With a tenant table installed, /v1
+// requests authenticate here (401 unauthorized otherwise) and carry their
+// resolved tenant in the request context from this point on.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requestsTotal.Add(1)
+	r, ok := s.resolveTenant(w, r)
+	if !ok {
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -272,6 +297,9 @@ type MetricsResponse struct {
 	Server ServerMetrics        `json:"server"`
 	Work   WorkMetrics          `json:"work"`
 	Store  *store.Metrics       `json:"store,omitempty"`
+	// Tenants is present only on multi-tenant servers: one row per
+	// configured tenant, sorted by name.
+	Tenants []TenantMetrics `json:"tenants,omitempty"`
 }
 
 // ServerMetrics are the handler-level counters.
@@ -280,6 +308,10 @@ type ServerMetrics struct {
 	BatchesActive        int64 `json:"batches_active"`
 	BatchResultsStreamed int64 `json:"batch_results_streamed"`
 	ClientsDropped       int64 `json:"clients_dropped"`
+	// Unauthorized counts /v1 requests refused for a missing or unknown API
+	// key (multi-tenant servers only; a key is a secret, so the counter is
+	// global rather than per guessed identity).
+	Unauthorized int64 `json:"unauthorized,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -290,8 +322,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			BatchesActive:        s.batchesActive.Load(),
 			BatchResultsStreamed: s.batchResults.Load(),
 			ClientsDropped:       s.clientsDropped.Load(),
+			Unauthorized:         s.unauthorized.Load(),
 		},
-		Work: s.workMetrics(),
+		Work:    s.workMetrics(),
+		Tenants: s.tenantMetrics(),
 	}
 	if s.store != nil {
 		m := s.store.Metrics()
@@ -461,7 +495,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res, err := s.eng.RunWorkload(r.Context(), req.Config.config(len(req.Benchmarks)),
+	// One interactive cell: admission (rate limit + in-flight quota) here,
+	// slot scheduling downstream in the engine's gate — interactive class
+	// wins the next free engine slot over any tenant's bulk backlog.
+	ctx, release, ok := s.admit(w, r, tenant.Interactive, 1)
+	if !ok {
+		return
+	}
+	defer release()
+
+	res, err := s.eng.RunWorkload(ctx, req.Config.config(len(req.Benchmarks)),
 		smtmlp.Mix(req.Benchmarks...), p)
 	switch {
 	case errors.Is(err, smtmlp.ErrWorkloadMismatch):
@@ -542,9 +585,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Bulk admission: one token plus an in-flight reservation for the whole
+	// cross-product, held until the stream drains. Each cell still queues
+	// for its own engine slot, where interactive traffic outranks it.
+	ctx, release, ok := s.admit(w, r, tenant.Bulk, len(reqs))
+	if !ok {
+		return
+	}
+	defer release()
+
 	s.batchesActive.Add(1)
 	defer s.batchesActive.Add(-1)
-	s.streamBatch(w, r, reqs)
+	s.streamBatch(ctx, w, reqs)
 }
 
 // streamBatch runs the batch and streams one NDJSON line per result, in
@@ -555,12 +607,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // well before the batch finishes. If the client disconnects, the request
 // context cancels the batch; the worker pool drains fully (the engine
 // guarantees exactly len(reqs) results) before the handler returns.
-func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, reqs []smtmlp.Request) {
+func (s *Server) streamBatch(ctx context.Context, w http.ResponseWriter, reqs []smtmlp.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Batch-Size", fmt.Sprint(len(reqs)))
 	flusher, _ := w.(http.Flusher)
 
-	ctx, cancel := context.WithCancel(r.Context())
+	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	ch := s.eng.RunBatch(ctx, reqs)

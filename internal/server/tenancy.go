@@ -1,0 +1,179 @@
+// Tenant resolution and admission control: the middleware half of
+// internal/tenant. With a tenant table installed (smtserved -tenants), every
+// /v1 request authenticates by API key, passes the tenant's token bucket and
+// concurrency quotas, and carries its tenant + scheduling class in the
+// request context so the engine's slot gate can arbitrate capacity
+// downstream. Without a table the server is single-tenant and none of this
+// runs — the untenanted code path is byte-identical to the pre-tenancy
+// server.
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"smtmlp"
+	"smtmlp/internal/tenant"
+)
+
+// WithTenants installs multi-tenancy: requests to /v1 endpoints must carry
+// an API key from the table (Authorization: Bearer <key> or X-API-Key),
+// admission enforces each tenant's rate limit and quotas, and gate — shared
+// with the engine via smtmlp.WithSlotGate and with per-lease engines by the
+// server itself — schedules engine slots across tenants. gate may be nil
+// (admission without scheduling); tbl must not be.
+func WithTenants(tbl *tenant.Table, gate smtmlp.SlotGate) Option {
+	return func(s *Server) {
+		s.tenants = tbl
+		s.gate = gate
+	}
+}
+
+// apiKey extracts the request's API key: Authorization: Bearer <key> first,
+// X-API-Key as the curl-friendly fallback.
+func apiKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if key, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			return strings.TrimSpace(key)
+		}
+		return "" // a non-Bearer Authorization never matches a key
+	}
+	return strings.TrimSpace(r.Header.Get("X-API-Key"))
+}
+
+// resolveTenant authenticates a /v1 request against the tenant table and
+// attaches the tenant to the request context at Bulk class (handlers of
+// latency-sensitive endpoints upgrade the class themselves). It reports
+// false after writing the 401 when the key is missing or unknown. Servers
+// without a table admit everything as the Anonymous tenant.
+func (s *Server) resolveTenant(w http.ResponseWriter, r *http.Request) (*http.Request, bool) {
+	if s.tenants == nil || !strings.HasPrefix(r.URL.Path, "/v1/") {
+		return r, true
+	}
+	t, ok := s.tenants.Resolve(apiKey(r))
+	if !ok {
+		s.unauthorized.Add(1)
+		w.Header().Set("WWW-Authenticate", `Bearer realm="smtmlp"`)
+		writeError(w, http.StatusUnauthorized, CodeUnauthorized,
+			"missing or unknown API key (Authorization: Bearer <key> or X-API-Key)")
+		return r, false
+	}
+	return r.WithContext(tenant.NewContext(r.Context(), t, tenant.Bulk)), true
+}
+
+// admit runs tenant admission for a request carrying `cells` simulation
+// cells at the given scheduling class: one token from the tenant's bucket
+// (429 rate_limited with an honest Retry-After on refusal) and a
+// MaxInFlight reservation for the cells (429 quota_exceeded). It returns
+// the tenant-and-class request context to run under and a release for the
+// reserved cells. On refusal it writes the error body itself and reports
+// ok=false.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, class tenant.Class, cells int) (ctx context.Context, release func(), ok bool) {
+	t, _ := tenant.FromContext(r.Context())
+	ctx = tenant.NewContext(r.Context(), t, class)
+	if s.tenants == nil {
+		return ctx, func() {}, true
+	}
+	if !s.takeToken(w, t) {
+		return nil, nil, false
+	}
+	if !t.AcquireCells(cells) {
+		t.CountQuotaDenied()
+		writeError(w, http.StatusTooManyRequests, CodeQuotaExceeded,
+			"tenant %q at its in-flight limit of %d cells (%d requested); finish or cancel work and retry",
+			t.Name, t.Limits.MaxInFlight, cells)
+		return nil, nil, false
+	}
+	t.CountAdmitted()
+	return ctx, func() { t.ReleaseCells(cells) }, true
+}
+
+// takeToken spends one token from the tenant's rate bucket, writing the 429
+// rate_limited body with an honest Retry-After — derived from the bucket's
+// actual refill time — when the bucket is empty. It reports whether the
+// request may proceed. No-op (always true) on untenanted servers.
+func (s *Server) takeToken(w http.ResponseWriter, t *tenant.Tenant) bool {
+	if s.tenants == nil {
+		return true
+	}
+	ok, retry := t.TakeToken(time.Now())
+	if ok {
+		return true
+	}
+	t.CountRateLimited()
+	// Retry-After is in whole seconds per RFC 9110; round up so a client
+	// honoring it is guaranteed a token.
+	w.Header().Set("Retry-After", fmt.Sprint(int64(math.Ceil(retry.Seconds()))))
+	writeError(w, http.StatusTooManyRequests, CodeRateLimited,
+		"tenant %q over its rate limit of %g requests/s; retry in %v",
+		t.Name, t.Limits.Rate, retry.Round(time.Millisecond))
+	return false
+}
+
+// TenantMetrics is one tenant's row in the /metrics body: the admission and
+// scheduler counters plus the server-side concurrency gauges.
+type TenantMetrics struct {
+	tenant.Metrics
+	ActiveCampaigns int `json:"active_campaigns"`
+	ActiveLeases    int `json:"active_leases"`
+}
+
+// tenantMetrics renders the per-tenant metrics rows, sorted by tenant name.
+func (s *Server) tenantMetrics() []TenantMetrics {
+	if s.tenants == nil {
+		return nil
+	}
+	campaigns := make(map[string]int)
+	leases := make(map[string]int)
+	s.mu.Lock()
+	for _, run := range s.campaigns {
+		if run.tenant != nil && run.snapshotStatus() == "running" {
+			campaigns[run.tenant.Key]++
+		}
+	}
+	for _, l := range s.leases {
+		if l.tenant != nil && l.snapshotStatus() == "running" {
+			leases[l.tenant.Key]++
+		}
+	}
+	s.mu.Unlock()
+	tenants := s.tenants.Tenants()
+	out := make([]TenantMetrics, 0, len(tenants))
+	for _, t := range tenants {
+		out = append(out, TenantMetrics{
+			Metrics:         t.MetricsSnapshot(),
+			ActiveCampaigns: campaigns[t.Key],
+			ActiveLeases:    leases[t.Key],
+		})
+	}
+	return out
+}
+
+// activeLeasesFor counts running leases held by the tenant (matched by key,
+// so leases admitted before a hot reload count against the reloaded tenant).
+// Callers hold s.mu.
+func (s *Server) activeLeasesFor(t *tenant.Tenant) int {
+	n := 0
+	for _, l := range s.leases {
+		if l.tenant != nil && l.tenant.Key == t.Key && l.snapshotStatus() == "running" {
+			n++
+		}
+	}
+	return n
+}
+
+// activeCampaignsFor counts running campaigns started by the tenant.
+// Callers hold s.mu.
+func (s *Server) activeCampaignsFor(t *tenant.Tenant) int {
+	n := 0
+	for _, run := range s.campaigns {
+		if run.tenant != nil && run.tenant.Key == t.Key && run.snapshotStatus() == "running" {
+			n++
+		}
+	}
+	return n
+}

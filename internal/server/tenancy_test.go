@@ -1,0 +1,417 @@
+// Multi-tenancy tests: the typed admission error bodies (unauthorized,
+// rate_limited with an honest Retry-After, quota_exceeded), per-tenant
+// /metrics rows, backward compatibility of the untenanted server, a
+// two-tenant race hammer proving interactive latency stays bounded while a
+// bulk batch saturates the engine AND that tenancy never changes bytes, and
+// the campaign-under-contention determinism proof against a direct
+// single-tenant campaign.Run.
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"smtmlp"
+	"smtmlp/internal/campaign"
+	"smtmlp/internal/server"
+	"smtmlp/internal/store"
+	"smtmlp/internal/tenant"
+)
+
+// tenantTable parses an inline tenants.json.
+func tenantTable(t *testing.T, cfg string) *tenant.Table {
+	t.Helper()
+	tbl, err := tenant.Parse([]byte(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// tenantServer builds a multi-tenant server: the table, a slot scheduler of
+// the given capacity shared between the engine and the server, and the
+// engine itself at the test budget.
+func tenantServer(t *testing.T, cfg string, slots int, engOpts []smtmlp.Option, opts ...server.Option) *server.Server {
+	t.Helper()
+	tbl := tenantTable(t, cfg)
+	sched := tenant.NewScheduler(slots, tbl.Boost())
+	eng := testEngine(append([]smtmlp.Option{smtmlp.WithSlotGate(sched)}, engOpts...)...)
+	return server.New(eng, append([]server.Option{server.WithTenants(tbl, sched)}, opts...)...)
+}
+
+// postAs drives one request through the handler with an API key attached
+// via the named header ("X-API-Key" or "Authorization"; empty key = none).
+func postAs(t *testing.T, h http.Handler, header, key, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	if key != "" {
+		req.Header.Set(header, key)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+const runBody = `{"benchmarks":["mcf","galgel"],"policy":"icount"}`
+
+// TestTenantErrorBodies walks every typed admission error the tenancy layer
+// can produce, table-driven over (request, expected status, expected code).
+func TestTenantErrorBodies(t *testing.T) {
+	srv := tenantServer(t, `{
+		"tenants": [
+			{"key": "k-open", "name": "open"},
+			{"key": "k-slow", "name": "slow", "rate": 0.001, "burst": 1},
+			{"key": "k-tight", "name": "tight", "max_inflight": 1}
+		]
+	}`, 2, nil)
+
+	// Prime slow's one-token bucket so the table's rate_limited case is
+	// deterministic.
+	if rec := postAs(t, srv, "X-API-Key", "k-slow", "/v1/run", runBody); rec.Code != http.StatusOK {
+		t.Fatalf("priming run: status %d body %s", rec.Code, rec.Body)
+	}
+
+	cases := []struct {
+		name   string
+		header string
+		key    string
+		path   string
+		body   string
+		status int
+		code   string
+	}{
+		{"missing key", "", "", "/v1/run", runBody,
+			http.StatusUnauthorized, server.CodeUnauthorized},
+		{"unknown key", "X-API-Key", "k-nope", "/v1/run", runBody,
+			http.StatusUnauthorized, server.CodeUnauthorized},
+		{"non-bearer authorization", "Authorization", "Basic a2stb3Blbg==", "/v1/run", runBody,
+			http.StatusUnauthorized, server.CodeUnauthorized},
+		{"empty bucket", "X-API-Key", "k-slow", "/v1/run", runBody,
+			http.StatusTooManyRequests, server.CodeRateLimited},
+		{"in-flight quota", "X-API-Key", "k-tight", "/v1/batch",
+			`{"workloads":[["mcf","galgel"],["swim","twolf"]],"policies":["icount"]}`,
+			http.StatusTooManyRequests, server.CodeQuotaExceeded},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := postAs(t, srv, tc.header, tc.key, tc.path, tc.body)
+			wantError(t, rec, tc.status, tc.code)
+			switch tc.code {
+			case server.CodeUnauthorized:
+				if rec.Header().Get("WWW-Authenticate") == "" {
+					t.Fatal("401 carries no WWW-Authenticate challenge")
+				}
+			case server.CodeRateLimited:
+				if ra, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || ra < 1 {
+					t.Fatalf("429 Retry-After %q; want a positive integer of seconds",
+						rec.Header().Get("Retry-After"))
+				}
+			}
+		})
+	}
+
+	// Bearer authentication works too, and an authorized tenant still runs.
+	if rec := postAs(t, srv, "Authorization", "Bearer k-open", "/v1/run", runBody); rec.Code != http.StatusOK {
+		t.Fatalf("bearer run: status %d body %s", rec.Code, rec.Body)
+	}
+
+	// The admission outcomes above are visible per tenant on /metrics.
+	var m server.MetricsResponse
+	decodeInto(t, get(t, srv, "/metrics"), &m)
+	if len(m.Tenants) != 3 {
+		t.Fatalf("%d tenant metric rows, want 3", len(m.Tenants))
+	}
+	byName := map[string]server.TenantMetrics{}
+	for _, tm := range m.Tenants {
+		byName[tm.Name] = tm
+	}
+	if byName["slow"].RateLimited != 1 || byName["slow"].Admitted != 1 {
+		t.Fatalf("slow row %+v", byName["slow"])
+	}
+	if byName["tight"].QuotaDenied != 1 {
+		t.Fatalf("tight row %+v", byName["tight"])
+	}
+	if byName["open"].Admitted != 1 || byName["open"].SlotsGranted != 1 {
+		t.Fatalf("open row %+v", byName["open"])
+	}
+	if m.Server.Unauthorized != 3 {
+		t.Fatalf("unauthorized counter %d, want 3", m.Server.Unauthorized)
+	}
+}
+
+// TestTenantCampaignQuota exercises MaxCampaigns: the second concurrent
+// campaign of a bounded tenant is refused with quota_exceeded while an
+// unbounded tenant still creates one.
+func TestTenantCampaignQuota(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := tenantServer(t, `{
+		"tenants": [
+			{"key": "k-one", "name": "one", "max_campaigns": 1},
+			{"key": "k-free", "name": "free"}
+		]
+	}`, 2, nil, server.WithStore(st), server.WithBaseContext(ctx))
+	defer func() {
+		cancel()
+		srv.DrainCampaigns()
+		st.Close()
+	}()
+
+	// A slow campaign (large budget) that is still running when the second
+	// create arrives.
+	slowSpec := `{
+		"name": "slow", "instructions": 300000, "warmup": 75000,
+		"policies": ["icount"], "workloads": {"mixes": [["mcf","galgel"]]}
+	}`
+	if rec := postAs(t, srv, "X-API-Key", "k-one", "/v1/campaigns", slowSpec); rec.Code != http.StatusAccepted {
+		t.Fatalf("first campaign: status %d body %s", rec.Code, rec.Body)
+	}
+	wantError(t, postAs(t, srv, "X-API-Key", "k-one", "/v1/campaigns", slowSpec),
+		http.StatusTooManyRequests, server.CodeQuotaExceeded)
+	// Another tenant is not affected by one's quota.
+	if rec := postAs(t, srv, "X-API-Key", "k-free", "/v1/campaigns", slowSpec); rec.Code != http.StatusAccepted {
+		t.Fatalf("free tenant campaign: status %d body %s", rec.Code, rec.Body)
+	}
+}
+
+// TestTenantBackwardCompat pins the acceptance criterion that a server
+// without a tenant table behaves exactly as before tenancy existed: stray
+// credentials are ignored, bodies are byte-identical to a plain server's,
+// and /metrics carries no tenant rows.
+func TestTenantBackwardCompat(t *testing.T) {
+	plain := server.New(testEngine())
+	want := post(t, plain, "/v1/run", runBody)
+	if want.Code != http.StatusOK {
+		t.Fatalf("plain run: status %d", want.Code)
+	}
+
+	srv := server.New(testEngine())
+	for _, hdr := range [][2]string{{"", ""}, {"X-API-Key", "k-whatever"}, {"Authorization", "Bearer nope"}} {
+		rec := postAs(t, srv, hdr[0], hdr[1], "/v1/run", runBody)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("untenanted run with header %v: status %d body %s", hdr, rec.Code, rec.Body)
+		}
+		if !bytes.Equal(rec.Body.Bytes(), want.Body.Bytes()) {
+			t.Fatalf("untenanted response differs from plain server:\n%s\nvs\n%s", rec.Body, want.Body)
+		}
+	}
+
+	body := get(t, srv, "/metrics").Body.String()
+	if strings.Contains(body, `"tenants"`) {
+		t.Fatalf("untenanted /metrics grew a tenants section: %s", body)
+	}
+}
+
+// TestTenantRaceHammer pits a bulk tenant's saturating /v1/batch against an
+// interactive tenant's /v1/run loop on a two-slot scheduler and asserts the
+// two halves of the tenancy contract at once: scheduling (every interactive
+// request completes within a bound far below the bulk backlog's total
+// runtime, because interactive work preempts bulk at each slot boundary) and
+// determinism (every body, interactive and bulk alike, is byte-identical to
+// an uncontended server's).
+func TestTenantRaceHammer(t *testing.T) {
+	batchBody := `{"workloads":[["mcf","galgel"],["swim","twolf"],["art","lucas"],["mcf","twolf"]],"policies":["icount","flush","mlpflush"]}`
+
+	// Uncontended ground truth from a plain single-tenant server.
+	plain := server.New(testEngine())
+	wantRun := post(t, plain, "/v1/run", runBody)
+	wantBatch := post(t, plain, "/v1/batch", batchBody)
+	if wantRun.Code != http.StatusOK || wantBatch.Code != http.StatusOK {
+		t.Fatalf("ground truth: run %d batch %d", wantRun.Code, wantBatch.Code)
+	}
+
+	srv := tenantServer(t, `{
+		"interactive_boost": 8,
+		"tenants": [
+			{"key": "k-bulk", "name": "bulk", "weight": 1},
+			{"key": "k-int", "name": "int", "weight": 1}
+		]
+	}`, 2, []smtmlp.Option{smtmlp.WithParallelism(2)})
+
+	const interactiveRuns = 8
+	var wg sync.WaitGroup
+	var batchRec *httptest.ResponseRecorder
+	interactive := make([]*httptest.ResponseRecorder, interactiveRuns)
+	latencies := make([]time.Duration, interactiveRuns)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		batchRec = postAs(t, srv, "X-API-Key", "k-bulk", "/v1/batch", batchBody)
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < interactiveRuns; i++ {
+			start := time.Now()
+			interactive[i] = postAs(t, srv, "X-API-Key", "k-int", "/v1/run", runBody)
+			latencies[i] = time.Since(start)
+		}
+	}()
+	wg.Wait()
+
+	// Determinism: contention reordered execution, never bytes.
+	if batchRec.Code != http.StatusOK || !bytes.Equal(batchRec.Body.Bytes(), wantBatch.Body.Bytes()) {
+		t.Fatalf("contended batch differs from uncontended ground truth (status %d, %d vs %d bytes)",
+			batchRec.Code, batchRec.Body.Len(), wantBatch.Body.Len())
+	}
+	for i, rec := range interactive {
+		if rec.Code != http.StatusOK || !bytes.Equal(rec.Body.Bytes(), wantRun.Body.Bytes()) {
+			t.Fatalf("interactive run %d differs from ground truth (status %d): %s", i, rec.Code, rec.Body)
+		}
+	}
+
+	// Bounded interactive latency: each /v1/run waits at most one in-flight
+	// bulk cell per slot before the boost wins it the next grant, so even the
+	// worst observed latency must sit far below the 12-cell bulk backlog's
+	// total runtime. The generous multiple keeps slow CI honest while still
+	// failing hard if interactive requests ever queue behind the whole batch.
+	var worst time.Duration
+	for _, d := range latencies {
+		if d > worst {
+			worst = d
+		}
+	}
+	if limit := 15 * time.Second; worst > limit {
+		t.Fatalf("worst interactive latency %v exceeds %v under bulk load", worst, limit)
+	}
+
+	// The scheduler actually arbitrated: both tenants were granted slots.
+	var m server.MetricsResponse
+	decodeInto(t, get(t, srv, "/metrics"), &m)
+	for _, tm := range m.Tenants {
+		if tm.SlotsGranted == 0 {
+			t.Fatalf("tenant %s was never granted a slot: %+v", tm.Name, tm)
+		}
+	}
+}
+
+// TestCampaignDeterminismUnderContention is the acceptance proof for the
+// store invariant: a campaign executed through a multi-tenant server while
+// another tenant hammers interactive runs produces a store byte-identical
+// to the same spec run uncontended through campaign.Run (the smtsweep
+// path). Tenancy reorders scheduling, never results.
+func TestCampaignDeterminismUnderContention(t *testing.T) {
+	// The interactive traffic deliberately draws on the campaign's own
+	// benchmark/config/budget space, so the shared reference cache the
+	// campaign exports to its store holds exactly the references the
+	// uncontended run would persist.
+	const spec = `{
+		"name": "det", "instructions": 6000, "warmup": 1500,
+		"policies": ["icount", "mlpflush"],
+		"workloads": {"mixes": [["mcf","galgel"], ["swim","twolf"]]}
+	}`
+	var parsed campaign.Spec
+	if err := json.Unmarshal([]byte(spec), &parsed); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth: the direct, uncontended campaign.
+	truthDir := t.TempDir()
+	truthStore, err := store.Open(truthDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campaign.Run(context.Background(), truthStore, parsed, campaign.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	truthStore.Close()
+
+	// Contended: the same spec through a tenanted server (single engine
+	// slot, so every cell queues) while an interactive tenant hammers runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	servedDir := t.TempDir()
+	servedStore, err := store.Open(servedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer servedStore.Close()
+	srv := tenantServer(t, `{
+		"tenants": [
+			{"key": "k-camp", "name": "camp"},
+			{"key": "k-int", "name": "int"}
+		]
+	}`, 1, nil, server.WithStore(servedStore), server.WithBaseContext(ctx))
+
+	rec := postAs(t, srv, "X-API-Key", "k-camp", "/v1/campaigns", spec)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("campaign create: status %d body %s", rec.Code, rec.Body)
+	}
+	var created server.CampaignStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+
+	hammerDone := make(chan struct{})
+	go func() {
+		defer close(hammerDone)
+		for i := 0; ; i++ {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			body := runBody
+			if i%2 == 1 {
+				body = `{"benchmarks":["swim","twolf"],"policy":"mlpflush"}`
+			}
+			if rec := postAs(t, srv, "X-API-Key", "k-int", "/v1/run", body); rec.Code != http.StatusOK {
+				t.Errorf("interactive run under contention: status %d body %s", rec.Code, rec.Body)
+				return
+			}
+		}
+	}()
+
+	// Poll the campaign with the creator's key (the GET is tenant-gated too).
+	var final server.CampaignStatus
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		req := httptest.NewRequest("GET", "/v1/campaigns/"+created.ID, nil)
+		req.Header.Set("X-API-Key", "k-camp")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		decodeInto(t, rec, &final)
+		if final.Status != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s still running after 30s: %+v", created.ID, final)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-hammerDone
+	if final.Status != "done" || final.Executed != 4 {
+		t.Fatalf("contended campaign final %+v", final)
+	}
+	srv.DrainCampaigns()
+
+	for _, name := range []string{"results.ndjson", "refs.ndjson"} {
+		truth, err := os.ReadFile(filepath.Join(truthDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		served, err := os.ReadFile(filepath.Join(servedDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(truth, served) {
+			t.Fatalf("%s differs between uncontended campaign.Run and contended served campaign (%d vs %d bytes)",
+				name, len(truth), len(served))
+		}
+	}
+}

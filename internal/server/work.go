@@ -55,6 +55,7 @@ import (
 
 	"smtmlp"
 	"smtmlp/internal/sim"
+	"smtmlp/internal/tenant"
 )
 
 // Defaults for the work-lease bounds.
@@ -181,8 +182,9 @@ type WorkMetrics struct {
 
 // workLease is the server-side state of one lease.
 type workLease struct {
-	id    string
-	cells []WorkCell
+	id     string
+	cells  []WorkCell
+	tenant *tenant.Tenant // lease holder; nil on untenanted servers
 
 	mu       sync.Mutex
 	status   string // "running", "done", "canceled", "expired"
@@ -307,6 +309,13 @@ func (s *Server) handleWorkLease(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 
+	// Fresh leases pass tenant admission (renewals above are free: the work
+	// was already admitted; throttling the heartbeat would only expire it).
+	t, _ := tenant.FromContext(r.Context())
+	if !s.takeToken(w, t) {
+		return
+	}
+
 	if len(lr.Cells) == 0 {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "lease %q has no cells", lr.LeaseID)
 		return
@@ -326,6 +335,7 @@ func (s *Server) handleWorkLease(w http.ResponseWriter, r *http.Request) {
 		smtmlp.WithWarmup(lr.Warmup),
 		smtmlp.WithParallelism(s.eng.Parallelism()),
 		smtmlp.WithCache(s.eng.Cache()),
+		smtmlp.WithSlotGate(s.gate),
 	)
 	for _, cell := range lr.Cells {
 		if !s.checkWorkload(w, cell.Request.Workload.Benchmarks) {
@@ -349,6 +359,19 @@ func (s *Server) handleWorkLease(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, existing.snapshot())
 		return
 	}
+	// Per-tenant quota first: a tenant at its own lease limit is told
+	// quota_exceeded (its problem) even when the worker as a whole still has
+	// room; worker_busy (everyone's problem) is reserved for the global bound.
+	// Both checks share the registration critical section so racing leases
+	// cannot sneak under either limit.
+	if limit := t.Limits.MaxLeases; s.tenants != nil && limit > 0 && s.activeLeasesFor(t) >= limit {
+		s.mu.Unlock()
+		t.CountQuotaDenied()
+		writeError(w, http.StatusTooManyRequests, CodeQuotaExceeded,
+			"tenant %q already holds %d running leases (limit %d); collect one before leasing more",
+			t.Name, limit, limit)
+		return
+	}
 	active := int64(0)
 	for _, l := range s.leases {
 		if l.snapshotStatus() == "running" {
@@ -362,7 +385,12 @@ func (s *Server) handleWorkLease(w http.ResponseWriter, r *http.Request) {
 			active, s.maxLeases)
 		return
 	}
-	ctx, cancel := context.WithCancel(s.baseCtx)
+	baseCtx := s.baseCtx
+	if s.tenants != nil {
+		// Lease cells are the holder's bulk work at the slot gate.
+		baseCtx = tenant.NewContext(baseCtx, t, tenant.Bulk)
+	}
+	ctx, cancel := context.WithCancel(baseCtx)
 	lease := &workLease{
 		id:       lr.LeaseID,
 		cells:    lr.Cells,
@@ -370,6 +398,10 @@ func (s *Server) handleWorkLease(w http.ResponseWriter, r *http.Request) {
 		deadline: time.Now().Add(ttl),
 		cancel:   cancel,
 		done:     make(chan struct{}),
+	}
+	if s.tenants != nil {
+		lease.tenant = t
+		t.CountAdmitted()
 	}
 	lease.expire = time.AfterFunc(ttl, func() { s.expireLease(lease) })
 	s.leases[lr.LeaseID] = lease

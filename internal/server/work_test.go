@@ -224,6 +224,68 @@ func TestWorkerBusyBound(t *testing.T) {
 	collect(t, srv, "busy2")
 }
 
+// TestLeaseQuotaPerTenant is the regression test for lease acceptance
+// counting only the global -max-leases bound: a tenant at its own MaxLeases
+// quota must be refused with quota_exceeded (its problem — collect a lease)
+// while the global bound still answers worker_busy (everyone's problem — try
+// another worker), and one tenant's quota must not block another.
+func TestLeaseQuotaPerTenant(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := tenantServer(t, `{
+		"tenants": [
+			{"key": "k-alice", "name": "alice", "max_leases": 1},
+			{"key": "k-bob", "name": "bob"}
+		]
+	}`, 2, []smtmlp.Option{smtmlp.WithParallelism(1)},
+		server.WithMaxLeases(2), server.WithBaseContext(ctx))
+	defer func() {
+		cancel()
+		srv.DrainWork()
+	}()
+
+	// Slow cells so every lease is still running while the next arrives.
+	const instructions, warmup = 200_000, 50_000
+	lease := func(id string) string {
+		return leaseBody(t, server.LeaseRequest{
+			LeaseID: id, Instructions: instructions, Warmup: warmup,
+			Cells: leaseCells(instructions, warmup, []string{"mcf", "galgel"}, []string{"swim", "twolf"}),
+		})
+	}
+
+	if rec := postAs(t, srv, "X-API-Key", "k-alice", "/v1/work/lease", lease("a1")); rec.Code != http.StatusAccepted {
+		t.Fatalf("alice's first lease: status %d body %s", rec.Code, rec.Body)
+	}
+	// Alice is at her own quota: quota_exceeded, NOT worker_busy — the
+	// worker still has a free global slot.
+	wantError(t, postAs(t, srv, "X-API-Key", "k-alice", "/v1/work/lease", lease("a2")),
+		http.StatusTooManyRequests, server.CodeQuotaExceeded)
+	// Bob is unaffected by alice's quota and takes the worker's second slot.
+	if rec := postAs(t, srv, "X-API-Key", "k-bob", "/v1/work/lease", lease("b1")); rec.Code != http.StatusAccepted {
+		t.Fatalf("bob's first lease: status %d body %s", rec.Code, rec.Body)
+	}
+	// Now the worker itself is full: the global bound answers worker_busy.
+	wantError(t, postAs(t, srv, "X-API-Key", "k-bob", "/v1/work/lease", lease("b2")),
+		http.StatusTooManyRequests, server.CodeWorkerBusy)
+
+	// Both refusals are attributed per tenant on /metrics, and the active
+	// lease gauges are scoped per tenant too.
+	var m server.MetricsResponse
+	decodeInto(t, get(t, srv, "/metrics"), &m)
+	for _, tm := range m.Tenants {
+		switch tm.Name {
+		case "alice":
+			if tm.QuotaDenied != 1 || tm.ActiveLeases != 1 {
+				t.Fatalf("alice row %+v", tm)
+			}
+		case "bob":
+			// worker_busy is a global condition, not a tenant quota denial.
+			if tm.QuotaDenied != 0 || tm.ActiveLeases != 1 {
+				t.Fatalf("bob row %+v", tm)
+			}
+		}
+	}
+}
+
 func TestWorkLeaseExpiry(t *testing.T) {
 	srv := server.New(testEngine(), server.WithLeaseTTL(30*time.Millisecond))
 	const instructions, warmup = 5_000, 1_000

@@ -113,9 +113,31 @@ func (p *STProfile) CPIAt(n uint64) float64 {
 	return float64(last.Cycles) / float64(last.Instructions)
 }
 
+// SlotGate admits simulations at the engine-slot boundary. When a Runner
+// carries a gate, every multiprogram simulation acquires one slot before it
+// starts executing (its single-threaded reference resolutions ride along
+// under the same slot) and releases it when it finishes — so an external
+// scheduler can arbitrate engine capacity among competing request streams
+// one simulation at a time, without ever touching a simulation in flight.
+// Acquire blocks until a slot is granted or ctx is done; the returned
+// release must be called exactly once (extra calls must be no-ops on the
+// implementation's side or guarded by the caller).
+//
+// Gating reorders only *when* simulations run, never what they compute: each
+// simulation is deterministic and independent, and all batch consumers
+// restore submission order, so gated and ungated executions produce
+// byte-identical results.
+type SlotGate interface {
+	Acquire(ctx context.Context) (release func(), err error)
+}
+
 // Runner executes simulations against a single-threaded reference cache.
 type Runner struct {
 	Params Params
+
+	// Gate, when non-nil, admits each multiprogram simulation at the slot
+	// boundary (see SlotGate). Set it before the Runner serves traffic.
+	Gate SlotGate
 
 	refs *RefCache
 
@@ -248,6 +270,13 @@ func (r *Runner) RunWorkload(cfg core.Config, w bench.Workload, kind policy.Kind
 func (r *Runner) RunWorkloadCtx(ctx context.Context, cfg core.Config, w bench.Workload, kind policy.Kind, limiter core.Limiter) (WorkloadResult, error) {
 	if err := ctx.Err(); err != nil {
 		return WorkloadResult{}, err
+	}
+	if r.Gate != nil {
+		release, err := r.Gate.Acquire(ctx)
+		if err != nil {
+			return WorkloadResult{}, err
+		}
+		defer release()
 	}
 	c := core.New(cfg, models(w.Benchmarks), policy.New(kind), limiter)
 	res := r.runWarm(c)

@@ -1,0 +1,81 @@
+package tenant
+
+import (
+	"sync"
+	"time"
+)
+
+// Bucket is a token bucket: capacity `burst` tokens refilled at `rate`
+// tokens/second. Take spends one token per admitted request; an empty bucket
+// refuses and reports how long until one token has refilled — the honest
+// Retry-After the service surfaces on 429 responses (honest because a client
+// that waits exactly that long is guaranteed a token, absent competing
+// traffic from its own tenant).
+//
+// Time is passed in rather than read from the clock, so admission tests can
+// drive the bucket deterministically.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time // time of the last refill accounting
+}
+
+// NewBucket builds a full bucket. A rate <= 0 makes the bucket unlimited; a
+// burst <= 0 defaults to max(1, rate) — at least one request, and up to one
+// second of refill, may burst.
+func NewBucket(rate, burst float64) *Bucket {
+	b := &Bucket{}
+	b.Configure(rate, burst)
+	return b
+}
+
+// Configure resets the bucket's rate and burst, preserving the current fill
+// level (clamped to the new burst). It is what a hot reload applies to an
+// adopted bucket: new limits take effect immediately without handing the
+// tenant a free full bucket.
+func (b *Bucket) Configure(rate, burst float64) {
+	if burst <= 0 {
+		burst = 1
+		if rate > 1 {
+			burst = rate
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fresh := b.rate == 0 && b.burst == 0 && b.last.IsZero()
+	b.rate = rate
+	b.burst = burst
+	if fresh {
+		b.tokens = burst // a new bucket starts full
+	} else if b.tokens > burst {
+		b.tokens = burst
+	}
+}
+
+// Take refills the bucket for the time elapsed since the last call and
+// spends one token. When no token is available it spends nothing and returns
+// how long until one has refilled.
+func (b *Bucket) Take(now time.Time) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate <= 0 {
+		return true, 0
+	}
+	if !b.last.IsZero() {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens += dt * b.rate
+			if b.tokens > b.burst {
+				b.tokens = b.burst
+			}
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate // seconds until one whole token
+	return false, time.Duration(need * float64(time.Second))
+}

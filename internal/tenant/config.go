@@ -1,0 +1,177 @@
+package tenant
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+)
+
+// Config is the tenants.json file format:
+//
+//	{
+//	  "slots": 4,
+//	  "interactive_boost": 8,
+//	  "tenants": [
+//	    {"key": "k-ada", "name": "ada", "weight": 4, "rate": 50, "burst": 100,
+//	     "max_inflight": 8, "max_campaigns": 2, "max_leases": 4},
+//	    {"key": "k-bulk", "name": "bulk", "weight": 1, "rate": 5,
+//	     "max_inflight": 64, "max_leases": 1}
+//	  ]
+//	}
+//
+// Slots pins the scheduler's engine-slot capacity (0 = the engine's
+// parallelism); InteractiveBoost is the DCRA-style share multiplier applied
+// to tenants with interactive work queued (0 = DefaultBoost). Every tenant
+// limit is optional; zero means unlimited (weight 0 means 1).
+type Config struct {
+	Slots            int            `json:"slots,omitempty"`
+	InteractiveBoost int            `json:"interactive_boost,omitempty"`
+	Tenants          []TenantConfig `json:"tenants"`
+}
+
+// TenantConfig is one tenant entry of the file: the API key, the public
+// name, and the admission/scheduling limits (inlined so the file stays
+// flat).
+type TenantConfig struct {
+	Key  string `json:"key"`
+	Name string `json:"name"`
+	Limits
+}
+
+// validate rejects configs that could not be enforced coherently.
+func (c *Config) validate() error {
+	if len(c.Tenants) == 0 {
+		return errors.New("tenant config has no tenants")
+	}
+	if c.Slots < 0 || c.InteractiveBoost < 0 {
+		return errors.New("slots and interactive_boost must be >= 0")
+	}
+	keys := make(map[string]bool, len(c.Tenants))
+	names := make(map[string]bool, len(c.Tenants))
+	for i, tc := range c.Tenants {
+		if tc.Key == "" || tc.Name == "" {
+			return fmt.Errorf("tenant %d: key and name are required", i)
+		}
+		if keys[tc.Key] {
+			return fmt.Errorf("tenant %q: duplicate key", tc.Name)
+		}
+		if names[tc.Name] {
+			return fmt.Errorf("tenant %q: duplicate name", tc.Name)
+		}
+		keys[tc.Key], names[tc.Name] = true, true
+		if tc.Weight < 0 || tc.Rate < 0 || tc.Burst < 0 ||
+			tc.MaxInFlight < 0 || tc.MaxCampaigns < 0 || tc.MaxLeases < 0 {
+			return fmt.Errorf("tenant %q: limits must be >= 0", tc.Name)
+		}
+	}
+	return nil
+}
+
+// Table is the resolved tenant set behind an atomic pointer: Resolve reads
+// it lock-free on every request, Reload swaps it whole. In-flight requests
+// hold the *Tenant they resolved, so a swap never changes the limits of work
+// already admitted; tenants whose key survives the swap keep their runtime
+// state (bucket fill, quota gauges, counters).
+type Table struct {
+	path  string
+	byKey atomic.Pointer[map[string]*Tenant]
+	slots atomic.Int64
+	boost atomic.Int64
+}
+
+// Load reads, validates and installs the tenant config at path. The
+// returned table hot-reloads from the same path via Reload.
+func Load(path string) (*Table, error) {
+	tb := &Table{path: path}
+	if err := tb.Reload(); err != nil {
+		return nil, err
+	}
+	return tb, nil
+}
+
+// Parse builds a Table from raw config bytes (no backing file; Reload
+// fails). It is the test seam behind Load.
+func Parse(data []byte) (*Table, error) {
+	tb := &Table{}
+	if err := tb.install(data); err != nil {
+		return nil, err
+	}
+	return tb, nil
+}
+
+// Reload re-reads the table's backing file and atomically swaps the tenant
+// set. On any error (unreadable file, invalid config) the current table
+// stays installed untouched, so a bad edit plus SIGHUP cannot take the
+// service's tenancy down.
+func (tb *Table) Reload() error {
+	if tb.path == "" {
+		return errors.New("tenant table has no backing file to reload")
+	}
+	data, err := os.ReadFile(tb.path)
+	if err != nil {
+		return fmt.Errorf("reloading tenants: %w", err)
+	}
+	return tb.install(data)
+}
+
+// install parses, validates and swaps in a config, adopting runtime state
+// from the previous table by key.
+func (tb *Table) install(data []byte) error {
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("parsing tenants: %w", err)
+	}
+	if err := cfg.validate(); err != nil {
+		return fmt.Errorf("invalid tenants: %w", err)
+	}
+	old := tb.byKey.Load()
+	next := make(map[string]*Tenant, len(cfg.Tenants))
+	for _, tc := range cfg.Tenants {
+		t := &Tenant{Key: tc.Key, Name: tc.Name, Limits: tc.Limits, state: &state{}}
+		if old != nil {
+			if prev, ok := (*old)[tc.Key]; ok {
+				t.state = prev.state // counters and bucket fill carry over
+			}
+		}
+		t.state.bucket.Configure(tc.Rate, tc.Burst)
+		next[tc.Key] = t
+	}
+	tb.byKey.Store(&next)
+	tb.slots.Store(int64(cfg.Slots))
+	tb.boost.Store(int64(cfg.InteractiveBoost))
+	return nil
+}
+
+// Resolve maps an API key to its tenant.
+func (tb *Table) Resolve(key string) (*Tenant, bool) {
+	m := tb.byKey.Load()
+	if m == nil {
+		return nil, false
+	}
+	t, ok := (*m)[key]
+	return t, ok
+}
+
+// Tenants lists the current tenant set sorted by name, for deterministic
+// metrics rendering.
+func (tb *Table) Tenants() []*Tenant {
+	m := tb.byKey.Load()
+	if m == nil {
+		return nil
+	}
+	out := make([]*Tenant, 0, len(*m))
+	for _, t := range *m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Slots is the configured scheduler capacity (0 = use the engine's
+// parallelism); Boost is the configured interactive share multiplier (0 =
+// DefaultBoost).
+func (tb *Table) Slots() int { return int(tb.slots.Load()) }
+func (tb *Table) Boost() int { return int(tb.boost.Load()) }

@@ -1,0 +1,277 @@
+package tenant
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultBoost is the DCRA-style share multiplier applied to a tenant with
+// interactive work queued. With the default, one queued /v1/run outweighs a
+// bulk tenant until the bulk tenant holds 8x the interactive tenant's
+// weighted slots — in practice the very next released slot.
+const DefaultBoost = 8
+
+// Scheduler allocates a fixed pool of engine slots (concurrent simulations)
+// among tenants, transplanting the paper's fetch policies to the service
+// layer:
+//
+//   - ICOUNT: the paper's baseline fetches from the thread with the fewest
+//     instructions in the pipeline. The scheduler grants the next free slot
+//     to the tenant with the least weighted occupancy — fewest slots held
+//     per unit of configured weight — so no tenant monopolizes the engine
+//     just by queueing more work.
+//   - DCRA: Cazorla's dynamically controlled resource allocation grows a
+//     thread's share when its demand class warrants it (slow threads get a
+//     larger split). The scheduler scales a tenant's effective share by
+//     InteractiveBoost while that tenant has interactive work queued, so
+//     latency-sensitive requests preempt bulk campaign/lease cells at the
+//     next slot boundary — and because cells are admitted one slot at a
+//     time, "preemption" needs no cancellation: the bulk tenant simply
+//     does not win the next grant.
+//
+// Within a tenant, interactive waiters are served before bulk waiters and
+// each class is FIFO. All tie-breaks are deterministic (interactive demand,
+// then earliest waiter), so a given sequence of acquires and releases yields
+// exactly one grant trace — which is how the preemption tests pin behavior.
+//
+// Scheduling order never changes results: the simulator is deterministic per
+// cell and every consumer (batch streams, campaign commits, lease results)
+// reorders completions back into submission order, so tenancy reorders
+// execution, never bytes.
+type Scheduler struct {
+	capacity int
+	boost    int
+
+	mu     sync.Mutex
+	free   int
+	seq    uint64
+	queues map[*Tenant]*tenantQueue
+}
+
+// tenantQueue is one tenant's scheduler state: held slots and the two
+// class queues.
+type tenantQueue struct {
+	tenant      *Tenant
+	held        int
+	interactive []*waiter
+	bulk        []*waiter
+}
+
+// waiter is one parked Acquire call.
+type waiter struct {
+	seq      uint64
+	class    Class
+	enqueued time.Time
+	ready    chan struct{}
+}
+
+// NewScheduler builds a scheduler over `capacity` engine slots (values < 1
+// are clamped to 1). boost <= 0 uses DefaultBoost.
+func NewScheduler(capacity, boost int) *Scheduler {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if boost <= 0 {
+		boost = DefaultBoost
+	}
+	return &Scheduler{
+		capacity: capacity,
+		boost:    boost,
+		free:     capacity,
+		queues:   make(map[*Tenant]*tenantQueue),
+	}
+}
+
+// Capacity reports the scheduler's slot pool size.
+func (s *Scheduler) Capacity() int { return s.capacity }
+
+// Acquire blocks until the calling request's tenant (read from ctx, see
+// NewContext) is granted one engine slot, and returns the release that hands
+// it back. It implements the engine's slot-admission hook (smtmlp.SlotGate):
+// every simulation cell — run, batch, campaign or lease — passes through
+// here exactly once. A canceled ctx abandons the wait and returns ctx.Err().
+func (s *Scheduler) Acquire(ctx context.Context) (func(), error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t, class := FromContext(ctx)
+	w := &waiter{class: class, enqueued: time.Now(), ready: make(chan struct{})}
+
+	s.mu.Lock()
+	s.seq++
+	w.seq = s.seq
+	q := s.queues[t]
+	if q == nil {
+		q = &tenantQueue{tenant: t}
+		s.queues[t] = q
+	}
+	if class == Interactive {
+		q.interactive = append(q.interactive, w)
+	} else {
+		q.bulk = append(q.bulk, w)
+	}
+	t.state.queued.Add(1)
+	s.dispatch()
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// The grant raced the cancellation: hand the slot straight back.
+			s.release(q)
+		default:
+			q.remove(w)
+		}
+		s.mu.Unlock()
+		t.state.queued.Add(-1)
+		return nil, ctx.Err()
+	}
+
+	t.state.queued.Add(-1)
+	t.state.granted.Add(1)
+	t.state.queueWaitNS.Add(int64(time.Since(w.enqueued)))
+	t.state.inFlight.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			t.state.inFlight.Add(-1)
+			s.mu.Lock()
+			s.release(q)
+			s.mu.Unlock()
+		})
+	}, nil
+}
+
+// release returns q's slot to the pool and re-dispatches. Callers hold s.mu.
+func (s *Scheduler) release(q *tenantQueue) {
+	q.held--
+	s.free++
+	s.dispatch()
+}
+
+// dispatch grants free slots to waiters until one side runs out. Callers
+// hold s.mu.
+func (s *Scheduler) dispatch() {
+	for s.free > 0 {
+		q := s.pick()
+		if q == nil {
+			return
+		}
+		var w *waiter
+		if len(q.interactive) > 0 {
+			w, q.interactive = q.interactive[0], q.interactive[1:]
+		} else {
+			w, q.bulk = q.bulk[0], q.bulk[1:]
+		}
+		q.held++
+		s.free--
+		close(w.ready)
+	}
+}
+
+// pick selects the tenant to grant the next slot to: least weighted
+// occupancy first (ICOUNT), with shares boosted by queued interactive demand
+// (DCRA). Ties fall to the tenant with interactive work queued, then to the
+// earliest head waiter, so the grant order is a pure function of the
+// acquire/release history.
+func (s *Scheduler) pick() *tenantQueue {
+	var best *tenantQueue
+	var bestShare int
+	for _, q := range s.queues {
+		if len(q.interactive) == 0 && len(q.bulk) == 0 {
+			continue
+		}
+		share := q.tenant.Limits.weight()
+		if len(q.interactive) > 0 {
+			share *= s.boost
+		}
+		if best == nil || q.beats(share, best, bestShare) {
+			best, bestShare = q, share
+		}
+	}
+	return best
+}
+
+// beats reports whether q (at effective share qs) outranks r (at rs) for the
+// next grant.
+func (q *tenantQueue) beats(qs int, r *tenantQueue, rs int) bool {
+	// Weighted occupancy q.held/qs vs r.held/rs, compared in integers.
+	if a, b := q.held*rs, r.held*qs; a != b {
+		return a < b
+	}
+	if qi, ri := len(q.interactive) > 0, len(r.interactive) > 0; qi != ri {
+		return qi
+	}
+	return q.head() < r.head()
+}
+
+// head is the sequence number of the tenant's next waiter (its FIFO head
+// across classes, interactive first).
+func (q *tenantQueue) head() uint64 {
+	if len(q.interactive) > 0 {
+		return q.interactive[0].seq
+	}
+	return q.bulk[0].seq
+}
+
+// remove drops a canceled waiter from its queue. Callers hold s.mu.
+func (q *tenantQueue) remove(w *waiter) {
+	list := &q.bulk
+	if w.class == Interactive {
+		list = &q.interactive
+	}
+	for i, x := range *list {
+		if x == w {
+			*list = append((*list)[:i], (*list)[i+1:]...)
+			return
+		}
+	}
+}
+
+// Queued reports the number of parked waiters (all tenants), a test and
+// metrics aid.
+func (s *Scheduler) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, q := range s.queues {
+		n += len(q.interactive) + len(q.bulk)
+	}
+	return n
+}
+
+// Held reports the slots currently granted.
+func (s *Scheduler) Held() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.capacity - s.free
+}
+
+// Snapshot lists per-tenant occupancy for debugging, sorted by tenant name.
+func (s *Scheduler) Snapshot() []struct {
+	Name   string
+	Held   int
+	Queued int
+} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]struct {
+		Name   string
+		Held   int
+		Queued int
+	}, 0, len(s.queues))
+	for _, q := range s.queues {
+		out = append(out, struct {
+			Name   string
+			Held   int
+			Queued int
+		}{q.tenant.Name, q.held, len(q.interactive) + len(q.bulk)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,212 @@
+// Package tenant turns the one shared Engine behind internal/server into a
+// fair, quota-enforced multi-tenant service. It is the paper's fetch-slot
+// allocation problem restated one layer up: competing tenants stand in for
+// competing hardware threads, engine slots (concurrent simulations) stand in
+// for fetch slots, and a single bulk tenant hogging the engine is exactly the
+// memory-hogging thread the MLP-aware fetch policies exist to contain.
+//
+// The package provides three layers:
+//
+//   - identity: API-key tenants loaded from a JSON config into a Table that
+//     middleware resolves per request (and hot-reloads on SIGHUP). Without a
+//     config there is a single Anonymous tenant with no limits — the
+//     single-tenant server behaves exactly as before.
+//   - admission: per-tenant token buckets (rate limits with an honest
+//     Retry-After from the refill rate) and concurrent-work quotas (in-flight
+//     cells, active campaigns, active leases), enforced at the HTTP boundary
+//     before any simulation is queued.
+//   - scheduling: a weighted Scheduler over per-tenant FIFO queues admitting
+//     simulations one engine slot at a time — an ICOUNT-style
+//     least-weighted-occupancy pick with DCRA-style dynamic share scaling
+//     (see scheduler.go for the explicit mapping onto the paper's policies).
+package tenant
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Class is the scheduling class of one admitted request. Interactive work
+// (/v1/run) preempts Bulk work (batches, campaign cells, fleet lease cells)
+// at the engine-slot boundary.
+type Class int
+
+const (
+	// Bulk is throughput traffic: batches, campaign cells, lease cells.
+	Bulk Class = iota
+	// Interactive is latency-sensitive traffic: single /v1/run requests.
+	Interactive
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if c == Interactive {
+		return "interactive"
+	}
+	return "bulk"
+}
+
+// Limits is a tenant's static configuration: its scheduler weight, its
+// token-bucket rate limit and its concurrent-work quotas. Zero values mean
+// "unlimited" (and weight 0 means weight 1), so the zero Limits is the fully
+// open single-tenant behavior.
+type Limits struct {
+	// Weight is the tenant's scheduler share relative to other tenants
+	// (like a thread's fetch share); 0 means 1.
+	Weight int `json:"weight,omitempty"`
+	// Rate is the request admission rate in requests/second (token-bucket
+	// refill); 0 disables rate limiting.
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the token-bucket capacity; 0 means max(1, Rate).
+	Burst float64 `json:"burst,omitempty"`
+	// MaxInFlight bounds the tenant's concurrently admitted simulation cells
+	// across /v1/run and /v1/batch; 0 is unlimited.
+	MaxInFlight int `json:"max_inflight,omitempty"`
+	// MaxCampaigns bounds the tenant's concurrently running campaigns; 0 is
+	// unlimited.
+	MaxCampaigns int `json:"max_campaigns,omitempty"`
+	// MaxLeases bounds the tenant's concurrently running work leases; 0 is
+	// unlimited.
+	MaxLeases int `json:"max_leases,omitempty"`
+}
+
+// weight resolves the zero default.
+func (l Limits) weight() int {
+	if l.Weight <= 0 {
+		return 1
+	}
+	return l.Weight
+}
+
+// Tenant is one resolved identity. In-flight requests hold the *Tenant they
+// were admitted under; a hot reload installs fresh Tenant values (new Limits)
+// that adopt the old runtime state, so work already admitted finishes under
+// the limits it was admitted with while its counters stay continuous.
+type Tenant struct {
+	// Key is the API key (secret); Name is the public label used in metrics.
+	Key  string `json:"key"`
+	Name string `json:"name"`
+	// Limits are the admission and scheduling bounds this tenant was loaded
+	// with.
+	Limits Limits `json:"limits"`
+
+	state *state
+}
+
+// state is the runtime half of a tenant: the token bucket and the live
+// counters. It survives hot reloads (adopted by key), which is what keeps
+// quotas and metrics continuous across a SIGHUP.
+type state struct {
+	bucket Bucket
+
+	inFlight atomic.Int64 // engine slots held right now
+	queued   atomic.Int64 // waiters parked in the scheduler
+	cells    atomic.Int64 // admitted /v1/run + /v1/batch cells not yet finished
+
+	admitted    atomic.Int64 // requests past admission
+	rateLimited atomic.Int64 // requests refused by the token bucket
+	quotaDenied atomic.Int64 // requests refused by a concurrency quota
+	granted     atomic.Int64 // engine slots granted by the scheduler
+	queueWaitNS atomic.Int64 // total time waiters spent queued for a slot
+}
+
+// Anonymous is the implicit tenant of a server running without a tenant
+// table: no rate limit, no quotas, weight 1. It is also what FromContext
+// returns when no tenant was attached, so untenanted code paths need no nil
+// checks.
+var Anonymous = &Tenant{Name: "anonymous", state: &state{}}
+
+// TakeToken asks the tenant's rate limiter for one admission token at time
+// now. It reports whether the request may proceed and, when it may not, how
+// long until the bucket refills one token (the honest Retry-After).
+func (t *Tenant) TakeToken(now time.Time) (bool, time.Duration) {
+	if t.Limits.Rate <= 0 {
+		return true, 0
+	}
+	return t.state.bucket.Take(now)
+}
+
+// AcquireCells reserves n in-flight simulation cells against MaxInFlight,
+// reporting false (and reserving nothing) when the quota would be exceeded.
+func (t *Tenant) AcquireCells(n int) bool {
+	limit := t.Limits.MaxInFlight
+	for {
+		cur := t.state.cells.Load()
+		if limit > 0 && cur+int64(n) > int64(limit) {
+			return false
+		}
+		if t.state.cells.CompareAndSwap(cur, cur+int64(n)) {
+			return true
+		}
+	}
+}
+
+// ReleaseCells returns n reserved cells.
+func (t *Tenant) ReleaseCells(n int) { t.state.cells.Add(-int64(n)) }
+
+// CountAdmitted, CountRateLimited and CountQuotaDenied record admission
+// outcomes for /metrics.
+func (t *Tenant) CountAdmitted() bool { t.state.admitted.Add(1); return true }
+func (t *Tenant) CountRateLimited()   { t.state.rateLimited.Add(1) }
+func (t *Tenant) CountQuotaDenied()   { t.state.quotaDenied.Add(1) }
+
+// Metrics is a point-in-time snapshot of one tenant's counters, shaped for
+// the /metrics endpoint.
+type Metrics struct {
+	Name string `json:"name"`
+	// InFlight counts engine slots held; Queued counts scheduler waiters;
+	// CellsInFlight counts admitted-but-unfinished run/batch cells.
+	InFlight      int64 `json:"in_flight"`
+	Queued        int64 `json:"queued"`
+	CellsInFlight int64 `json:"cells_in_flight"`
+	// Admitted requests passed admission; RateLimited and QuotaDenied were
+	// refused with 429 rate_limited / quota_exceeded.
+	Admitted    int64 `json:"admitted"`
+	RateLimited int64 `json:"rate_limited"`
+	QuotaDenied int64 `json:"quota_denied"`
+	// SlotsGranted counts scheduler grants; QueueWaitMillis is the total time
+	// this tenant's work spent queued for a slot.
+	SlotsGranted    int64 `json:"slots_granted"`
+	QueueWaitMillis int64 `json:"queue_wait_ms"`
+}
+
+// MetricsSnapshot reads the tenant's counters.
+func (t *Tenant) MetricsSnapshot() Metrics {
+	s := t.state
+	return Metrics{
+		Name:            t.Name,
+		InFlight:        s.inFlight.Load(),
+		Queued:          s.queued.Load(),
+		CellsInFlight:   s.cells.Load(),
+		Admitted:        s.admitted.Load(),
+		RateLimited:     s.rateLimited.Load(),
+		QuotaDenied:     s.quotaDenied.Load(),
+		SlotsGranted:    s.granted.Load(),
+		QueueWaitMillis: s.queueWaitNS.Load() / int64(time.Millisecond),
+	}
+}
+
+// ctxKey keys the tenant context value.
+type ctxKey struct{}
+
+// ctxValue is the per-request tenancy: who, and at what scheduling class.
+type ctxValue struct {
+	tenant *Tenant
+	class  Class
+}
+
+// NewContext attaches the tenant and scheduling class to ctx; the scheduler
+// reads them back at the engine-slot boundary via FromContext.
+func NewContext(ctx context.Context, t *Tenant, class Class) context.Context {
+	return context.WithValue(ctx, ctxKey{}, ctxValue{tenant: t, class: class})
+}
+
+// FromContext resolves the request's tenancy; a context without one belongs
+// to Anonymous at Bulk class.
+func FromContext(ctx context.Context) (*Tenant, Class) {
+	if v, ok := ctx.Value(ctxKey{}).(ctxValue); ok {
+		return v.tenant, v.class
+	}
+	return Anonymous, Bulk
+}

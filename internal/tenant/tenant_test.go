@@ -1,0 +1,222 @@
+package tenant
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		ok   bool
+	}{
+		{"minimal", `{"tenants":[{"key":"k1","name":"a"}]}`, true},
+		{"full", `{"slots":2,"interactive_boost":4,"tenants":[
+			{"key":"k1","name":"a","weight":4,"rate":10,"burst":20,
+			 "max_inflight":8,"max_campaigns":2,"max_leases":3}]}`, true},
+		{"empty", `{"tenants":[]}`, false},
+		{"no key", `{"tenants":[{"name":"a"}]}`, false},
+		{"no name", `{"tenants":[{"key":"k1"}]}`, false},
+		{"dup key", `{"tenants":[{"key":"k1","name":"a"},{"key":"k1","name":"b"}]}`, false},
+		{"dup name", `{"tenants":[{"key":"k1","name":"a"},{"key":"k2","name":"a"}]}`, false},
+		{"negative rate", `{"tenants":[{"key":"k1","name":"a","rate":-1}]}`, false},
+		{"negative slots", `{"slots":-1,"tenants":[{"key":"k1","name":"a"}]}`, false},
+		{"garbage", `{"tenants":`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.json))
+			if (err == nil) != tc.ok {
+				t.Fatalf("Parse: err=%v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestTableResolve(t *testing.T) {
+	tb, err := Parse([]byte(`{"tenants":[{"key":"k1","name":"a","weight":3}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, ok := tb.Resolve("k1")
+	if !ok || ten.Name != "a" || ten.Limits.Weight != 3 {
+		t.Fatalf("Resolve(k1) = %+v, %v", ten, ok)
+	}
+	if _, ok := tb.Resolve("nope"); ok {
+		t.Fatal("unknown key resolved")
+	}
+	if _, ok := tb.Resolve(""); ok {
+		t.Fatal("empty key resolved")
+	}
+}
+
+// TestReloadSwapsAtomically proves the SIGHUP contract: a reload installs
+// new limits for new resolutions, keeps runtime state (bucket fill, quota
+// gauges) for keys that survive, drops removed keys, and a bad config leaves
+// the old table untouched.
+func TestReloadSwapsAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tenants.json")
+	write := func(s string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(s), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(`{"tenants":[
+		{"key":"k1","name":"a","rate":1,"burst":2,"max_inflight":4},
+		{"key":"k2","name":"b"}]}`)
+	tb, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain a's bucket and hold two of its cells: runtime state to carry over.
+	oldA, _ := tb.Resolve("k1")
+	now := time.Now()
+	oldA.TakeToken(now)
+	oldA.TakeToken(now)
+	if ok, _ := oldA.TakeToken(now); ok {
+		t.Fatal("burst of 2 admitted a third request")
+	}
+	if !oldA.AcquireCells(2) {
+		t.Fatal("AcquireCells(2) refused under max_inflight=4")
+	}
+
+	write(`{"tenants":[{"key":"k1","name":"a","rate":1,"burst":2,"max_inflight":2}]}`)
+	if err := tb.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	newA, ok := tb.Resolve("k1")
+	if !ok {
+		t.Fatal("k1 lost on reload")
+	}
+	if newA == oldA {
+		t.Fatal("reload did not install a fresh Tenant value")
+	}
+	if newA.Limits.MaxInFlight != 2 {
+		t.Fatalf("new limits not installed: %+v", newA.Limits)
+	}
+	// The empty bucket carried over: still rate-limited right after reload.
+	if ok, retry := newA.TakeToken(now); ok || retry <= 0 {
+		t.Fatalf("bucket fill not adopted: ok=%v retry=%v", ok, retry)
+	}
+	// The in-flight gauge carried over: the 2 old cells fill the new quota.
+	if newA.AcquireCells(1) {
+		t.Fatal("quota gauge not adopted across reload")
+	}
+	// Work admitted before the swap releases against the same state.
+	oldA.ReleaseCells(2)
+	if !newA.AcquireCells(1) {
+		t.Fatal("release through the old tenant did not free the shared gauge")
+	}
+	if _, ok := tb.Resolve("k2"); ok {
+		t.Fatal("removed key still resolves")
+	}
+
+	// A bad edit must not take the table down.
+	write(`{"tenants":[`)
+	if err := tb.Reload(); err == nil {
+		t.Fatal("Reload accepted a truncated config")
+	}
+	if _, ok := tb.Resolve("k1"); !ok {
+		t.Fatal("failed reload clobbered the installed table")
+	}
+}
+
+func TestBucketRefillAndRetryAfter(t *testing.T) {
+	b := NewBucket(2, 2) // 2 tokens/sec, burst 2
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Take(t0); !ok {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	ok, retry := b.Take(t0)
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	// One token refills in exactly 1/rate = 500ms: the honest Retry-After.
+	if want := 500 * time.Millisecond; retry != want {
+		t.Fatalf("retry = %v, want %v", retry, want)
+	}
+	// Waiting exactly that long is guaranteed to yield one token...
+	if ok, _ := b.Take(t0.Add(retry)); !ok {
+		t.Fatal("token not available after the advertised Retry-After")
+	}
+	// ...and only one.
+	if ok, _ := b.Take(t0.Add(retry)); ok {
+		t.Fatal("second token appeared early")
+	}
+	// Refill caps at burst: after a long idle stretch, exactly 2 tokens.
+	late := t0.Add(time.Hour)
+	b.Take(late)
+	b.Take(late)
+	if ok, _ := b.Take(late); ok {
+		t.Fatal("bucket refilled beyond burst")
+	}
+}
+
+func TestBucketUnlimitedAndDefaults(t *testing.T) {
+	b := NewBucket(0, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := b.Take(time.Now()); !ok {
+			t.Fatal("unlimited bucket refused")
+		}
+	}
+	// Burst defaults to max(1, rate).
+	b = NewBucket(0.5, 0)
+	if ok, _ := b.Take(time.Unix(0, 0)); !ok {
+		t.Fatal("default burst below 1")
+	}
+	if ok, _ := b.Take(time.Unix(0, 0)); ok {
+		t.Fatal("default burst above 1 for sub-1 rate")
+	}
+}
+
+func TestQuotaCells(t *testing.T) {
+	ten := &Tenant{Name: "q", Limits: Limits{MaxInFlight: 3}, state: &state{}}
+	if !ten.AcquireCells(2) || !ten.AcquireCells(1) {
+		t.Fatal("quota refused within bound")
+	}
+	if ten.AcquireCells(1) {
+		t.Fatal("quota admitted beyond bound")
+	}
+	ten.ReleaseCells(1)
+	if !ten.AcquireCells(1) {
+		t.Fatal("released cell not reusable")
+	}
+	// A batch bigger than the whole quota is refused without reserving.
+	ten.ReleaseCells(3)
+	if ten.AcquireCells(4) {
+		t.Fatal("oversized batch admitted")
+	}
+	if !ten.AcquireCells(3) {
+		t.Fatal("refused batch leaked a reservation")
+	}
+}
+
+func TestAnonymousContextDefaults(t *testing.T) {
+	ten, class := FromContext(context.Background())
+	if ten != Anonymous || class != Bulk {
+		t.Fatalf("bare context = %v/%v, want Anonymous/Bulk", ten.Name, class)
+	}
+	if ok, _ := Anonymous.TakeToken(time.Now()); !ok {
+		t.Fatal("Anonymous is rate-limited")
+	}
+	if !Anonymous.AcquireCells(1 << 20) {
+		t.Fatal("Anonymous has a cell quota")
+	}
+	Anonymous.ReleaseCells(1 << 20)
+
+	other := &Tenant{Name: "x", state: &state{}}
+	ctx := NewContext(context.Background(), other, Interactive)
+	got, class := FromContext(ctx)
+	if got != other || class != Interactive {
+		t.Fatalf("FromContext = %v/%v", got.Name, class)
+	}
+}

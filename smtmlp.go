@@ -243,11 +243,19 @@ type Engine struct {
 	progress func(completed, total int)
 }
 
+// SlotGate admits simulations at the engine-slot boundary: every
+// multiprogram simulation acquires one slot before executing and releases it
+// after. Install one with WithSlotGate to let an external scheduler (e.g. a
+// multi-tenant admission layer) arbitrate engine capacity one simulation at
+// a time; gating reorders execution, never results.
+type SlotGate = sim.SlotGate
+
 // engineOptions collects functional-option state before the Engine is built.
 type engineOptions struct {
 	params    sim.Params
 	cacheSize int
 	cache     *Cache
+	gate      SlotGate
 	progress  func(completed, total int)
 }
 
@@ -290,6 +298,16 @@ func WithCache(c *Cache) Option {
 	return func(o *engineOptions) { o.cache = c }
 }
 
+// WithSlotGate installs a slot-admission gate: each of the engine's
+// simulations (RunWorkload calls and RunBatch cells alike) acquires one slot
+// from the gate before executing. Several engines may share one gate, which
+// then bounds and arbitrates their combined concurrency — the service layer
+// uses this to schedule one engine's slots across tenants. A nil gate leaves
+// admission unlimited (the default).
+func WithSlotGate(g SlotGate) Option {
+	return func(o *engineOptions) { o.gate = g }
+}
+
 // WithProgress installs a callback invoked after each completed batch
 // request with (completed, total). Within one RunBatch the calls are
 // sequential (from that batch's collector goroutine), but concurrent
@@ -311,8 +329,10 @@ func NewEngine(opts ...Option) *Engine {
 	if cache == nil {
 		cache = NewCache(o.cacheSize)
 	}
+	runner := sim.NewRunnerWithCache(o.params, cache.refs)
+	runner.Gate = o.gate
 	return &Engine{
-		runner:   sim.NewRunnerWithCache(o.params, cache.refs),
+		runner:   runner,
 		cache:    cache,
 		progress: o.progress,
 	}
