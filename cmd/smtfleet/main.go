@@ -45,6 +45,7 @@ import (
 	"smtmlp"
 	"smtmlp/internal/campaign"
 	"smtmlp/internal/fleet"
+	"smtmlp/internal/obs"
 	"smtmlp/internal/store"
 )
 
@@ -69,7 +70,17 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) int {
 	maxAttempts := fs.Int("max-attempts", fleet.DefaultMaxAttempts, "lease deliveries per chunk before the run fails")
 	straggler := fs.Duration("straggler-after", fleet.DefaultStraggler, "re-dispatch leases in flight longer than this (negative disables)")
 	quiet := fs.Bool("quiet", false, "suppress progress and fleet event lines")
+	logFormat := fs.String("log-format", "text", "structured log format on stderr: text or json")
+	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn or error")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	// Structured lease-lifecycle logs go to errOut (stderr), independent of
+	// -quiet: quiet silences the human progress lines on stdout, while the
+	// machine-readable log stream is controlled only by -log-level.
+	logger, err := obs.NewLogger(errOut, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(errOut, "smtfleet: %v\n", err)
 		return 2
 	}
 	if *specPath == "" || *storeDir == "" || *workers == "" {
@@ -98,7 +109,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) int {
 		return 2
 	}
 
-	st, err := store.Open(*storeDir)
+	st, err := store.OpenWithLogger(*storeDir, logger)
 	if err != nil {
 		fmt.Fprintf(errOut, "smtfleet: %v\n", err)
 		return 1
@@ -129,6 +140,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) int {
 		LeaseTTL:       *leaseTTL,
 		MaxAttempts:    *maxAttempts,
 		StragglerAfter: *straggler,
+		Logger:         logger,
 	}
 	if !*quiet {
 		opts.Progress = func(p campaign.Progress) {

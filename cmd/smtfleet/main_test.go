@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -123,6 +124,75 @@ func TestFleetCLIEndToEnd(t *testing.T) {
 	}
 	if _, skipped, executed, _ := parseSummary(t, out.String()); skipped != 8 || executed != 0 {
 		t.Fatalf("no-op resume skipped=%d executed=%d", skipped, executed)
+	}
+}
+
+// TestFleetCLIQuietAndLogFlags pins the -quiet x -log-format contract:
+// -quiet silences the human progress lines on stdout but leaves the
+// structured stderr log stream alone, which -log-level controls
+// independently; a bad -log-format is a usage error.
+func TestFleetCLIQuietAndLogFlags(t *testing.T) {
+	specPath := writeSpec(t)
+	w := httptest.NewServer(server.New(smtmlp.NewEngine()))
+	defer w.Close()
+
+	var out, errOut bytes.Buffer
+	code := run(context.Background(), []string{
+		"-spec", specPath, "-store", filepath.Join(t.TempDir(), "store"),
+		"-workers", w.URL, "-quiet", "-log-format", "json",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("smtfleet exited %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if bytes.Contains(out.Bytes(), []byte("progress:")) {
+		t.Fatalf("-quiet run printed progress lines:\n%s", out.String())
+	}
+	if _, _, executed, _ := parseSummary(t, out.String()); executed != 8 {
+		t.Fatalf("summary line missing or wrong under -quiet:\n%s", out.String())
+	}
+	var sawDispatch bool
+	for _, line := range bytes.Split(bytes.TrimSpace(errOut.Bytes()), []byte("\n")) {
+		var ll struct {
+			Msg        string `json:"msg"`
+			CampaignID string `json:"campaign_id"`
+			RequestID  string `json:"request_id"`
+		}
+		if err := json.Unmarshal(line, &ll); err != nil {
+			t.Fatalf("stderr line is not JSON under -log-format json: %s", line)
+		}
+		if ll.Msg == "lease dispatched" {
+			if ll.CampaignID == "" || ll.RequestID == "" {
+				t.Fatalf("dispatch log line lacks correlation IDs: %s", line)
+			}
+			sawDispatch = true
+		}
+	}
+	if !sawDispatch {
+		t.Fatalf("no 'lease dispatched' log line on stderr:\n%s", errOut.String())
+	}
+
+	// -log-level error silences the info-level lease lifecycle.
+	out.Reset()
+	errOut.Reset()
+	code = run(context.Background(), []string{
+		"-spec", specPath, "-store", filepath.Join(t.TempDir(), "store"),
+		"-workers", w.URL, "-quiet", "-log-format", "json", "-log-level", "error",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errOut.String())
+	}
+	if bytes.Contains(errOut.Bytes(), []byte("lease dispatched")) {
+		t.Fatalf("-log-level error still logs info lines:\n%s", errOut.String())
+	}
+
+	// A bad format is a usage error before any work starts.
+	out.Reset()
+	errOut.Reset()
+	if code := run(context.Background(), []string{
+		"-spec", specPath, "-store", t.TempDir(), "-workers", w.URL,
+		"-log-format", "yaml",
+	}, &out, &errOut); code != 2 {
+		t.Fatalf("bad -log-format exited %d, want 2", code)
 	}
 }
 

@@ -56,6 +56,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -63,6 +64,7 @@ import (
 	"time"
 
 	"smtmlp"
+	"smtmlp/internal/obs"
 	"smtmlp/internal/server"
 	"smtmlp/internal/store"
 	"smtmlp/internal/tenant"
@@ -88,7 +90,18 @@ func run(ctx context.Context, args []string, out io.Writer) int {
 	leaseTTL := fs.Duration("lease-ttl", server.DefaultLeaseTTL, "max lifetime of an uncollected work lease")
 	tenantsPath := fs.String("tenants", "", "tenant config JSON enabling multi-tenant auth, quotas and slot scheduling (empty = single-tenant)")
 	readHeaderTimeout := fs.Duration("read-header-timeout", 10*time.Second, "max time to read a request's headers before the connection is reaped")
+	logFormat := fs.String("log-format", "text", "structured log format on stderr: text or json")
+	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn or error")
+	debugAddr := fs.String("debug-addr", "", "separate listen address serving net/http/pprof (empty = pprof disabled; never exposed on -addr)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Structured logs go to stderr so they never interleave with the stdout
+	// lines existing tooling parses.
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
 
@@ -98,7 +111,6 @@ func run(ctx context.Context, args []string, out io.Writer) int {
 	var tbl *tenant.Table
 	var gate smtmlp.SlotGate
 	if *tenantsPath != "" {
-		var err error
 		tbl, err = tenant.Load(*tenantsPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -131,6 +143,7 @@ func run(ctx context.Context, args []string, out io.Writer) int {
 		server.WithMaxThreads(*maxThreads),
 		server.WithMaxLeases(*maxLeases),
 		server.WithLeaseTTL(*leaseTTL),
+		server.WithLogger(logger),
 		// Campaigns and work leases run on the signal context: SIGINT/SIGTERM
 		// interrupts them cleanly; a re-POSTed spec resumes from the store and
 		// a canceled lease is re-dispatched by its coordinator.
@@ -149,8 +162,10 @@ func run(ctx context.Context, args []string, out io.Writer) int {
 				case <-hup:
 					if err := tbl.Reload(); err != nil {
 						fmt.Fprintf(out, "smtserved tenant reload failed (keeping current set): %v\n", err)
+						logger.Warn("tenant reload failed; keeping current set", "err", err)
 					} else {
 						fmt.Fprintf(out, "smtserved reloaded %d tenants from %s\n", len(tbl.Tenants()), *tenantsPath)
+						logger.Info("tenants reloaded", "tenants", len(tbl.Tenants()), "path", *tenantsPath)
 					}
 				case <-ctx.Done():
 					return
@@ -168,7 +183,7 @@ func run(ctx context.Context, args []string, out io.Writer) int {
 		}
 	}()
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir)
+		st, err := store.OpenWithLogger(*storeDir, logger)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
@@ -192,6 +207,32 @@ func run(ctx context.Context, args []string, out io.Writer) int {
 	}
 	handler = server.New(eng, opts...)
 
+	// Live profiling on its own listener, never the public mux: bind
+	// -debug-addr to loopback (or a firewalled interface) and the pprof
+	// surface stays invisible to API clients.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		dsrv := &http.Server{
+			Handler:           dmux,
+			ReadHeaderTimeout: *readHeaderTimeout,
+			BaseContext:       func(net.Listener) context.Context { return ctx },
+		}
+		defer dsrv.Close()
+		go dsrv.Serve(dln)
+		fmt.Fprintf(out, "smtserved debug listening on %s (pprof)\n", dln.Addr())
+		logger.Info("debug listener up", "addr", dln.Addr().String())
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -213,6 +254,8 @@ func run(ctx context.Context, args []string, out io.Writer) int {
 
 	fmt.Fprintf(out, "smtserved listening on %s (instructions=%d, parallelism=%d)\n",
 		ln.Addr(), eng.Instructions(), eng.Parallelism())
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"instructions", eng.Instructions(), "parallelism", eng.Parallelism())
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

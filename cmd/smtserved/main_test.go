@@ -117,6 +117,87 @@ func TestServedEndToEnd(t *testing.T) {
 	}
 }
 
+var (
+	publicListenRE = regexp.MustCompile(`smtserved listening on (\S+)`)
+	debugListenRE  = regexp.MustCompile(`smtserved debug listening on (\S+)`)
+)
+
+// TestServedDebugAddrPprof boots the server with -debug-addr and pins the
+// profiling contract: the pprof surface answers on the debug listener and
+// only there — the public mux never exposes /debug/pprof.
+func TestServedDebugAddrPprof(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0"}, out)
+	}()
+	defer func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(20 * time.Second):
+			t.Fatal("server did not shut down")
+		}
+	}()
+
+	var publicAddr, debugAddr string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && (publicAddr == "" || debugAddr == "") {
+		s := out.String()
+		if m := debugListenRE.FindStringSubmatch(s); m != nil {
+			debugAddr = m[1]
+			// The debug line also matches the public pattern; strip it before
+			// looking for the real public address.
+			s = strings.ReplaceAll(s, "debug listening on "+debugAddr, "")
+		}
+		if m := publicListenRE.FindStringSubmatch(s); m != nil {
+			publicAddr = m[1]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if publicAddr == "" || debugAddr == "" {
+		t.Fatalf("listeners never reported; output: %q", out.String())
+	}
+
+	get := func(addr, path string) int {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(debugAddr, "/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("debug listener /debug/pprof/ status %d", code)
+	}
+	if code := get(debugAddr, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("debug listener /debug/pprof/cmdline status %d", code)
+	}
+	if code := get(publicAddr, "/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("public listener serves /debug/pprof/ (status %d); it must stay debug-only", code)
+	}
+	if code := get(publicAddr, "/healthz"); code != http.StatusOK {
+		t.Fatalf("public listener /healthz status %d", code)
+	}
+	http.DefaultClient.CloseIdleConnections()
+}
+
+// TestServedBadLogFlags pins the usage errors of the structured-log flags.
+func TestServedBadLogFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-log-format", "yaml"},
+		{"-log-level", "loud"},
+	} {
+		out := &syncBuffer{}
+		if code := run(context.Background(), args, out); code != 2 {
+			t.Fatalf("args %v exited %d, want 2", args, code)
+		}
+	}
+}
+
 // TestServedStalledHeaderReaped proves the hardened http.Server reaps a
 // connection that opens and then never finishes sending its request headers
 // (a slow-loris client): the read side observes the close well before the

@@ -34,6 +34,7 @@ import (
 
 	"smtmlp"
 	"smtmlp/internal/campaign"
+	"smtmlp/internal/obs"
 	"smtmlp/internal/store"
 )
 
@@ -51,7 +52,16 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) int {
 	resume := fs.Bool("resume", false, "allow filling the gaps of a partially-run spec")
 	parallelism := fs.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	quiet := fs.Bool("quiet", false, "suppress per-result progress lines")
+	logFormat := fs.String("log-format", "text", "structured log format on stderr: text or json")
+	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn or error")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	// Structured logs go to errOut (stderr); stdout keeps the parseable
+	// progress and summary lines exactly as before.
+	logger, err := obs.NewLogger(errOut, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(errOut, "smtsweep: %v\n", err)
 		return 2
 	}
 	if *specPath == "" || *storeDir == "" {
@@ -70,7 +80,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) int {
 		return 2
 	}
 
-	st, err := store.Open(*storeDir)
+	st, err := store.OpenWithLogger(*storeDir, logger)
 	if err != nil {
 		fmt.Fprintf(errOut, "smtsweep: %v\n", err)
 		return 1
@@ -101,6 +111,7 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) int {
 	sum, runErr := campaign.Run(ctx, st, spec, campaign.Options{
 		Parallelism: *parallelism,
 		Progress:    progress,
+		Logger:      logger,
 	})
 
 	name := sum.Name

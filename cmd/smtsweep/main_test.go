@@ -192,4 +192,15 @@ func TestSweepBadInputs(t *testing.T) {
 	if !bytes.Contains(errOut.Bytes(), []byte("workloadz")) {
 		t.Fatalf("error does not name the bad field: %s", errOut.String())
 	}
+
+	// Bad structured-log flags are usage errors before any work starts.
+	for _, args := range [][]string{
+		{"-spec", bad, "-store", dir, "-log-format", "yaml"},
+		{"-spec", bad, "-store", dir, "-log-level", "loud"},
+	} {
+		var out, errOut bytes.Buffer
+		if code := run(context.Background(), args, &out, &errOut); code != 2 {
+			t.Fatalf("args %v exited %d, want 2", args, code)
+		}
+	}
 }

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"strings"
 
 	"smtmlp"
 	"smtmlp/internal/metrics"
+	"smtmlp/internal/obs"
 	"smtmlp/internal/store"
 )
 
@@ -102,6 +104,9 @@ type Options struct {
 	// Progress, when set, is invoked after every cell is accounted for
 	// (persisted, skipped or failed). Calls are sequential.
 	Progress func(Progress)
+	// Logger receives structured campaign lifecycle logs (expansion size,
+	// completion). Nil discards.
+	Logger *slog.Logger
 }
 
 // Progress is a live campaign snapshot.
@@ -153,12 +158,18 @@ func Run(ctx context.Context, st *store.Store, spec Spec, opts Options) (Summary
 	// deterministic failures removed — so the missing cells are exactly the
 	// suffix, and the resumed appends continue where the interrupted run
 	// stopped.
+	log := opts.Logger
+	if log == nil {
+		log = obs.Discard()
+	}
 	cells, total, err := MissingCells(st, spec)
 	if err != nil {
 		return sum, err
 	}
 	sum.Total = total
 	sum.Skipped = total - len(cells)
+	log.Info("campaign start",
+		"name", spec.Name, "total", total, "skipped", sum.Skipped, "missing", len(cells))
 
 	instructions, warmup := spec.Params()
 	eng := smtmlp.NewEngine(
@@ -198,6 +209,14 @@ func Run(ctx context.Context, st *store.Store, spec Spec, opts Options) (Summary
 	sum.CacheMisses = missesAfter - missesBefore
 	if runErr == nil {
 		runErr = mergeErr
+	}
+	if runErr != nil {
+		log.Warn("campaign stopped",
+			"name", spec.Name, "executed", sum.Executed, "failed", sum.Failed, "err", runErr)
+	} else {
+		log.Info("campaign finished",
+			"name", spec.Name, "executed", sum.Executed, "failed", sum.Failed,
+			"refs_saved", sum.RefsSaved)
 	}
 	return sum, runErr
 }

@@ -98,6 +98,10 @@ type Core struct {
 	statsStart   int64 // cycle at the last ResetStats (measurement origin)
 	lastAccrual  int64 // last cycle occupancy integrals were accrued
 
+	// trace is the opt-in interval recorder (see trace.go); nil when
+	// disabled, which is the only cost the hot loop pays for it.
+	trace *intervalTrace
+
 	// Statistics.
 	ResourceStallCycles uint64
 
@@ -198,6 +202,9 @@ func (c *Core) ResetStats() {
 		t.profile = nil
 		t.bp.ResetStats()
 		t.mlp.resetStats()
+	}
+	if c.trace != nil {
+		c.trace.restart(c)
 	}
 }
 
@@ -370,6 +377,10 @@ func (c *Core) step() {
 	c.issue()
 	c.dispatch()
 	c.fetch()
+
+	if tr := c.trace; tr != nil && c.now >= tr.nextAt {
+		c.record(tr)
+	}
 
 	if c.activity {
 		return
@@ -849,6 +860,9 @@ type Result struct {
 	AvgROBOccupancy      []float64 // mean ROB entries held, per thread
 	ResourceStallCycles  uint64
 	Profiles             [][]ProfilePoint
+	// Intervals holds the per-thread interval-trace samples (nil unless
+	// EnableIntervalTrace was called).
+	Intervals [][]IntervalSample
 }
 
 // TotalIPC returns committed instructions (all threads) per cycle.
@@ -894,6 +908,9 @@ func (c *Core) result() Result {
 		}
 		r.AvgROBOccupancy = append(r.AvgROBOccupancy, occ)
 		r.Profiles = append(r.Profiles, t.profile)
+	}
+	if c.trace != nil {
+		r.Intervals = c.trace.snapshot()
 	}
 	return r
 }

@@ -58,6 +58,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -66,6 +67,7 @@ import (
 
 	"smtmlp"
 	"smtmlp/internal/campaign"
+	"smtmlp/internal/obs"
 	"smtmlp/internal/server"
 	"smtmlp/internal/store"
 )
@@ -150,6 +152,12 @@ type Options struct {
 	// Eventf, when set, receives human-readable fleet events (worker lost,
 	// lease retried, hedged re-dispatch). Calls are serialized.
 	Eventf func(format string, args ...any)
+	// Logger receives structured lease-lifecycle logs (dispatch, renew,
+	// collect, retry). Every line carries the run's campaign_id plus the
+	// per-delivery request_id that also travels to the worker in the
+	// X-Request-Id header, so coordinator and worker logs join on the same
+	// values. Nil discards everything.
+	Logger *slog.Logger
 }
 
 // WorkerStats reports one worker's view of a finished run.
@@ -264,13 +272,19 @@ func Run(ctx context.Context, st *store.Store, spec campaign.Spec, opts Options)
 	}
 
 	instructions, warmup := spec.Params()
+	runID := newRunID()
+	logger := opts.Logger
+	if logger == nil {
+		logger = obs.Discard()
+	}
 	c := &coord{
 		st:           st,
 		cells:        cells,
 		instructions: instructions,
 		warmup:       warmup,
 		opts:         opts,
-		runID:        newRunID(),
+		runID:        runID,
+		log:          logger.With(obs.KeyCampaignID, runID),
 		inflight:     make(map[int]*flight),
 		finished:     make(map[int][]server.WorkResult),
 		refs:         make(map[string]smtmlp.RefProfile),
@@ -421,6 +435,7 @@ type coord struct {
 	warmup       uint64
 	opts         Options
 	runID        string
+	log          *slog.Logger // always bound to campaign_id = runID
 
 	mu       sync.Mutex
 	carve    int    // cells [0, carve) have been carved into chunks
@@ -674,11 +689,12 @@ func (e *transportError) Unwrap() error { return e.err }
 
 // activeLease is one lease in a driver's pipeline.
 type activeLease struct {
-	idx     int
-	leaseID string
-	cells   int
-	sent    time.Time
-	renewed time.Time
+	idx       int
+	leaseID   string
+	requestID string // correlation ID of this delivery; fresh per dispatch
+	cells     int
+	sent      time.Time
+	renewed   time.Time
 }
 
 // driver runs one worker as a bounded pipeline: keep up to PipelineDepth
@@ -711,11 +727,13 @@ func (c *coord) driver(ctx context.Context, ws *workerState) {
 			return false
 		case errors.Is(err, errLeaseLost):
 			c.eventf("fleet: %v; requeued chunk %d", err, idx)
+			c.log.Warn("lease lost; chunk requeued", "chunk", idx, "worker", ws.base, "err", err)
 			return c.sleep(ctx, idlePoll)
 		case errors.As(err, &te):
 			c.eventf("fleet: worker %s unreachable (%v); probing", ws.base, te.err)
 			if !c.probe(ctx, ws.base) {
 				c.eventf("fleet: worker %s lost; its chunks requeue to survivors", ws.base)
+				c.log.Warn("worker lost", "worker", ws.base, "err", te.err)
 				c.loseWorker(ws)
 				return false
 			}
@@ -804,6 +822,9 @@ func (c *coord) driver(ctx context.Context, ws *workerState) {
 		case done:
 			c.finish(head.idx, ws, out.results, out.refs)
 			c.observe(ws, head)
+			c.log.Info("lease collected",
+				obs.KeyLeaseID, head.leaseID, obs.KeyRequestID, head.requestID,
+				"worker", ws.base, "cells", head.cells)
 			act = act[1:]
 		case c.overtaken(head.idx):
 			// A hedge partner already delivered this chunk: stop polling and
@@ -845,8 +866,12 @@ func (c *coord) sendLease(ctx context.Context, ws *workerState, chunk []campaign
 	// what a lease costs on this worker, so it belongs in the EWMA that
 	// sizes the next one.
 	start := time.Now()
+	// Every delivery — including a retry of the same chunk — is a new unit
+	// of work on the wire and gets a fresh request ID; the campaign ID stays
+	// constant across the whole run.
+	requestID := obs.NewRequestID()
 	var status server.LeaseStatus
-	apiErr, err := c.workPost(ctx, ws, "/v1/work/lease", server.LeaseRequest{
+	apiErr, err := c.workPost(ctx, ws, "/v1/work/lease", requestID, server.LeaseRequest{
 		LeaseID:      leaseID,
 		Instructions: c.instructions,
 		Warmup:       c.warmup,
@@ -862,7 +887,10 @@ func (c *coord) sendLease(ctx context.Context, ws *workerState, chunk []campaign
 		}
 		return nil, apiErr
 	}
-	return &activeLease{leaseID: leaseID, cells: len(cells), sent: start, renewed: time.Now()}, nil
+	c.log.Info("lease dispatched",
+		obs.KeyLeaseID, leaseID, obs.KeyRequestID, requestID,
+		"worker", ws.base, "cells", len(cells))
+	return &activeLease{leaseID: leaseID, requestID: requestID, cells: len(cells), sent: start, renewed: time.Now()}, nil
 }
 
 // renewLease heartbeats one lease: an idempotent cells-free re-POST of its
@@ -872,7 +900,7 @@ func (c *coord) sendLease(ctx context.Context, ws *workerState, chunk []campaign
 // lease), so it maps to errLeaseLost rather than a run failure.
 func (c *coord) renewLease(ctx context.Context, ws *workerState, al *activeLease) error {
 	var status server.LeaseStatus
-	apiErr, err := c.workPost(ctx, ws, "/v1/work/lease", server.LeaseRequest{
+	apiErr, err := c.workPost(ctx, ws, "/v1/work/lease", al.requestID, server.LeaseRequest{
 		LeaseID:   al.leaseID,
 		TTLMillis: c.opts.LeaseTTL.Milliseconds(),
 	}, &status)
@@ -886,6 +914,8 @@ func (c *coord) renewLease(ctx context.Context, ws *workerState, al *activeLease
 	case "running", "done":
 		al.renewed = time.Now()
 		c.renewed.Add(1)
+		c.log.Debug("lease renewed",
+			obs.KeyLeaseID, al.leaseID, obs.KeyRequestID, al.requestID, "worker", ws.base)
 		return nil
 	default: // "canceled", "expired"
 		return fmt.Errorf("%w: lease %s %s on worker %s", errLeaseLost, al.leaseID, status.Status, ws.base)
@@ -896,7 +926,7 @@ func (c *coord) renewLease(ctx context.Context, ws *workerState, al *activeLease
 // (zero, false, nil) means the lease is still running.
 func (c *coord) pollLease(ctx context.Context, ws *workerState, al *activeLease, wait time.Duration) (leaseOut, bool, error) {
 	var resp server.CompleteResponse
-	apiErr, err := c.workPost(ctx, ws, "/v1/work/complete", server.CompleteRequest{
+	apiErr, err := c.workPost(ctx, ws, "/v1/work/complete", al.requestID, server.CompleteRequest{
 		LeaseID:    al.leaseID,
 		WaitMillis: wait.Milliseconds(),
 	}, &resp)
@@ -951,7 +981,7 @@ func (c *countReader) Read(p []byte) (int, error) {
 // a 2xx, the worker's error envelope on any other status, and a plain
 // error on a network-level failure. Payload and wire byte counts feed the
 // run summary.
-func (c *coord) workPost(ctx context.Context, ws *workerState, path string, in, out any) (*apiError, error) {
+func (c *coord) workPost(ctx context.Context, ws *workerState, path, requestID string, in, out any) (*apiError, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return nil, fmt.Errorf("encoding %s body: %w", path, err)
@@ -976,6 +1006,10 @@ func (c *coord) workPost(ctx context.Context, ws *workerState, path string, in, 
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Correlation IDs: the per-delivery request ID and the run-constant
+	// campaign ID, which the worker attaches to its own logs and lease state.
+	req.Header.Set(obs.RequestIDHeader, requestID)
+	req.Header.Set(obs.CampaignIDHeader, c.runID)
 	if gzipped {
 		req.Header.Set("Content-Encoding", "gzip")
 	}

@@ -190,6 +190,7 @@ type Hierarchy struct {
 	serialEnd []int64      // end of the last serialized LLL, per thread
 	outPerThr []int        // outstanding LLL count per thread (for DCRA/policies)
 	llThreads []uint64
+	l2Misses  []uint64 // demand loads serviced beyond the L2, per thread
 
 	// Statistics.
 	Loads        uint64
@@ -221,6 +222,7 @@ func New(cfg Config) *Hierarchy {
 		serialEnd:   make([]int64, cfg.Threads),
 		outPerThr:   make([]int, cfg.Threads),
 		llThreads:   make([]uint64, cfg.Threads),
+		l2Misses:    make([]uint64, cfg.Threads),
 	}
 	if cfg.EnablePrefetch {
 		h.stride = prefetch.NewStridePredictor(cfg.Prefetch)
@@ -356,6 +358,9 @@ func (h *Hierarchy) Load(tid int, pc, addr uint64, now int64) Access {
 	if acc.Level != LevelL1 {
 		h.l1miss[tid].add(now, now+acc.Latency)
 	}
+	if acc.Level == LevelL3 || acc.Level == LevelMem {
+		h.l2Misses[tid]++
+	}
 	if acc.LongLatency {
 		h.LongLatLoads++
 		h.llThreads[tid]++
@@ -428,6 +433,14 @@ func (h *Hierarchy) OutstandingL1Miss(tid int, now int64) int {
 	return h.l1miss[tid].outstanding()
 }
 
+// ThreadLLLs returns thread tid's long-latency load count so far (a pure
+// counter read; no accounting is advanced).
+func (h *Hierarchy) ThreadLLLs(tid int) uint64 { return h.llThreads[tid] }
+
+// ThreadL2Misses returns how many of thread tid's demand loads were serviced
+// beyond the L2 (L3 hits, memory fills and MSHR merges with in-flight fills).
+func (h *Hierarchy) ThreadL2Misses(tid int) uint64 { return h.l2Misses[tid] }
+
 // ThreadMLP finalizes accounting at endCycle and returns thread tid's MLP
 // (Chou et al. definition) together with its long-latency load count.
 func (h *Hierarchy) ThreadMLP(tid int, endCycle int64) (mlp float64, llls uint64) {
@@ -449,6 +462,7 @@ func (h *Hierarchy) ResetStats(now int64) {
 		h.mlp[i].weighted, h.mlp[i].busy, h.mlp[i].total = 0, 0, 0
 		h.l1miss[i].advance(now)
 		h.llThreads[i] = 0
+		h.l2Misses[i] = 0
 	}
 	if h.sbuf != nil {
 		h.sbuf.Allocations, h.sbuf.Prefetches, h.sbuf.Hits = 0, 0, 0

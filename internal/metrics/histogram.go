@@ -1,0 +1,75 @@
+package metrics
+
+// Histogram is a dependency-free, concurrency-safe latency histogram with
+// fixed exponential buckets, shaped for Prometheus exposition: cumulative
+// bucket counts, a running sum and a total count. Observe is lock-free
+// (per-bucket atomics), so it can sit on request paths without contention.
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// HistogramBuckets are the upper bounds, in seconds, of the histogram's
+// buckets (an implicit +Inf bucket follows). The range covers sub-millisecond
+// handler latencies up to minutes-long lease lifetimes.
+var HistogramBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// Histogram accumulates duration observations. The zero value is ready to
+// use.
+type Histogram struct {
+	buckets [len16]atomic.Int64 // non-cumulative per-bucket counts
+	inf     atomic.Int64        // observations above the last bound
+	sumNS   atomic.Int64
+}
+
+// len16 keeps the bucket array length in sync with HistogramBuckets.
+const len16 = 16
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := d.Seconds()
+	placed := false
+	for i, ub := range HistogramBuckets {
+		if s <= ub {
+			h.buckets[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	h.sumNS.Add(int64(d))
+}
+
+// HistogramSnapshot is a point-in-time view of a Histogram, with cumulative
+// bucket counts aligned to HistogramBuckets (the +Inf count equals Count).
+type HistogramSnapshot struct {
+	// Buckets holds cumulative counts: Buckets[i] observations were <=
+	// HistogramBuckets[i].
+	Buckets [len16]int64 `json:"-"`
+	Count   int64        `json:"count"`
+	// SumSeconds is the sum of all observed durations in seconds.
+	SumSeconds float64 `json:"sum_seconds"`
+}
+
+// Snapshot returns the histogram's current state. Concurrent Observe calls
+// make the snapshot approximate (not a consistent cut), which is fine for
+// monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		s.Buckets[i] = cum
+	}
+	s.Count = cum + h.inf.Load()
+	s.SumSeconds = time.Duration(h.sumNS.Load()).Seconds()
+	return s
+}

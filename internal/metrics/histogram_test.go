@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketsAligned(t *testing.T) {
+	if len(HistogramBuckets) != len16 {
+		t.Fatalf("HistogramBuckets has %d bounds but the bucket array holds %d", len(HistogramBuckets), len16)
+	}
+	for i := 1; i < len(HistogramBuckets); i++ {
+		if HistogramBuckets[i] <= HistogramBuckets[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v", i, HistogramBuckets)
+		}
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	h.Observe(500 * time.Microsecond) // <= 0.001
+	h.Observe(3 * time.Millisecond)   // <= 0.005
+	h.Observe(40 * time.Millisecond)  // <= 0.05
+	h.Observe(5 * time.Minute)        // +Inf
+	h.Observe(-time.Second)           // clamped to 0, first bucket
+
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Buckets[0] != 2 { // 500us and the clamped negative
+		t.Fatalf("bucket le=0.001 = %d, want 2", s.Buckets[0])
+	}
+	last := s.Buckets[len16-1]
+	if last != 4 {
+		t.Fatalf("finite cumulative = %d, want 4 (one observation is +Inf)", last)
+	}
+	// Cumulative counts are monotone.
+	for i := 1; i < len16; i++ {
+		if s.Buckets[i] < s.Buckets[i-1] {
+			t.Fatalf("cumulative counts not monotone at %d: %v", i, s.Buckets)
+		}
+	}
+	wantSum := (500*time.Microsecond + 3*time.Millisecond + 40*time.Millisecond + 5*time.Minute).Seconds()
+	if diff := s.SumSeconds - wantSum; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sum = %v, want %v", s.SumSeconds, wantSum)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+}

@@ -1,0 +1,106 @@
+// Package obs is the service stack's observability toolkit: structured
+// logger construction (log/slog, JSON or text), request-ID generation, and
+// the header/context conventions that correlate one unit of work across the
+// fleet coordinator, the worker's HTTP server and the persistent store.
+//
+// Conventions:
+//
+//   - Request IDs are generated at the edge that originates the work — the
+//     fleet coordinator for lease traffic, the HTTP server for requests that
+//     arrive without one — and travel in the X-Request-Id header. A retried
+//     lease is a new delivery and gets a fresh request ID.
+//   - Campaign IDs name the long-running unit (a fleet campaign run) and
+//     travel in X-Campaign-Id; every delivery of the campaign carries the
+//     same value.
+//   - Log lines attach these as "request_id" and "campaign_id" attributes,
+//     plus "lease_id" where a lease is in play, so one grep correlates both
+//     sides of the wire.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Header names for correlation IDs.
+const (
+	RequestIDHeader  = "X-Request-Id"
+	CampaignIDHeader = "X-Campaign-Id"
+)
+
+// Log attribute keys. Loggers on both sides of the wire use these exact
+// names, so logs from a coordinator and its workers join on the values.
+const (
+	KeyRequestID  = "request_id"
+	KeyCampaignID = "campaign_id"
+	KeyLeaseID    = "lease_id"
+)
+
+// NewRequestID returns a fresh 16-hex-digit random request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID beats a
+		// panic in a logging path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger builds a logger writing to w in the given format ("json" or
+// "text") at the given level ("debug", "info", "warn", "error"; empty means
+// info). The CLIs route these to stderr so structured logs never interleave
+// with the stdout lines existing tooling greps.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	lvl, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want json or text)", format)
+}
+
+// Discard returns a logger that drops everything — the default for servers
+// and coordinators constructed without an explicit logger, keeping the
+// observability layer strictly opt-in.
+func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// ctxKey is the private context key type for the request ID.
+type ctxKey struct{}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// RequestID returns the request ID carried by ctx ("" when absent).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}

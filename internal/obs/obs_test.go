@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"testing"
+)
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("want 16 hex digits, got %q, %q", a, b)
+	}
+	if a == b {
+		t.Fatalf("two IDs collided: %q", a)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel(loud) accepted")
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hello", KeyRequestID, "abc123")
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("json format did not produce JSON: %v (%s)", err, buf.Bytes())
+	}
+	if line[KeyRequestID] != "abc123" {
+		t.Fatalf("request_id missing from %s", buf.Bytes())
+	}
+
+	buf.Reset()
+	l, err = NewLogger(&buf, "text", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug("lowlevel")
+	if !bytes.Contains(buf.Bytes(), []byte("lowlevel")) {
+		t.Fatalf("debug line suppressed at level debug: %s", buf.Bytes())
+	}
+
+	// Levels filter.
+	buf.Reset()
+	l, err = NewLogger(&buf, "text", "error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("quiet")
+	if buf.Len() != 0 {
+		t.Fatalf("info line escaped at level error: %s", buf.Bytes())
+	}
+
+	if _, err := NewLogger(&buf, "yaml", "info"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if got := RequestID(ctx); got != "" {
+		t.Fatalf("empty context carries %q", got)
+	}
+	ctx = WithRequestID(ctx, "deadbeef")
+	if got := RequestID(ctx); got != "deadbeef" {
+		t.Fatalf("RequestID = %q, want deadbeef", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"smtmlp"
 	"smtmlp/internal/campaign"
+	"smtmlp/internal/obs"
 	"smtmlp/internal/tenant"
 )
 
@@ -176,6 +177,9 @@ func (s *Server) handleCampaignCreate(w http.ResponseWriter, r *http.Request) {
 	s.campaigns[run.id] = run
 	s.order = append(s.order, run.id)
 	s.mu.Unlock()
+	s.logger(r).Info("campaign created",
+		obs.KeyCampaignID, run.id, "name", spec.Name,
+		"total", len(reqs), "skipped", skipped)
 
 	go s.runCampaign(run)
 
@@ -200,6 +204,7 @@ func (s *Server) runCampaign(run *campaignRun) {
 		Cache:       s.eng.Cache(),
 		Parallelism: s.eng.Parallelism(),
 		Gate:        s.gate,
+		Logger:      s.log.With(obs.KeyCampaignID, run.id),
 		Progress: func(p campaign.Progress) {
 			run.mu.Lock()
 			run.progress = p

@@ -1,0 +1,275 @@
+// Observability surface tests: response cache headers, request-ID echo,
+// the Prometheus text exposition of /metrics, and interval traces over
+// /v1/run and /v1/batch.
+package server_test
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"smtmlp"
+	"smtmlp/internal/obs"
+	"smtmlp/internal/server"
+)
+
+// TestNoStoreHeaders pins the cache headers on the monitoring endpoints: a
+// stale liveness or metrics answer served by an intermediary cache is a
+// wrong answer.
+func TestNoStoreHeaders(t *testing.T) {
+	srv := server.New(testEngine())
+	for _, tc := range []struct {
+		path, contentType string
+	}{
+		{"/healthz", "application/json"},
+		{"/metrics", "application/json"},
+		{"/metrics?format=json", "application/json"},
+		{"/metrics?format=prometheus", "text/plain; version=0.0.4; charset=utf-8"},
+	} {
+		rec := get(t, srv, tc.path)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d", tc.path, rec.Code)
+		}
+		if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("%s: Cache-Control %q, want no-store", tc.path, cc)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != tc.contentType {
+			t.Errorf("%s: Content-Type %q, want %q", tc.path, ct, tc.contentType)
+		}
+	}
+
+	wantError(t, get(t, srv, "/metrics?format=bogus"),
+		http.StatusBadRequest, server.CodeInvalidRequest)
+}
+
+// TestRequestIDEcho pins the correlation contract at the HTTP edge: a
+// caller-supplied X-Request-Id is echoed back verbatim; a request without
+// one gets a fresh generated ID.
+func TestRequestIDEcho(t *testing.T) {
+	srv := server.New(testEngine())
+
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set(obs.RequestIDHeader, "fleet-supplied-id")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if got := rec.Header().Get(obs.RequestIDHeader); got != "fleet-supplied-id" {
+		t.Fatalf("supplied request ID not echoed: got %q", got)
+	}
+
+	rec = get(t, srv, "/healthz")
+	if got := rec.Header().Get(obs.RequestIDHeader); len(got) != 16 {
+		t.Fatalf("generated request ID %q, want 16 hex digits", got)
+	}
+}
+
+// promSamples parses exposition text into name{labels} -> value, collecting
+// the set of families that carried HELP and TYPE preambles.
+func promSamples(t *testing.T, body string) (samples map[string]float64, help, typed map[string]bool) {
+	t.Helper()
+	samples = make(map[string]float64)
+	help = make(map[string]bool)
+	typed = make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if name, ok := strings.CutPrefix(line, "# HELP "); ok {
+			help[strings.Fields(name)[0]] = true
+			continue
+		}
+		if name, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			f := strings.Fields(name)
+			if len(f) != 2 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			typed[f[0]] = true
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("sample line %q: %v", line, err)
+		}
+		samples[line[:i]] = v
+	}
+	return samples, help, typed
+}
+
+// TestPrometheusExposition is the acceptance-criterion test for the text
+// format: after one /v1/run, the scrape is valid exposition — every family
+// has HELP and TYPE lines, every histogram a full _bucket/_sum/_count
+// triplet with a +Inf bucket equal to _count — and the run-latency
+// histogram has observed the run.
+func TestPrometheusExposition(t *testing.T) {
+	srv := server.New(testEngine())
+	if rec := post(t, srv, "/v1/run",
+		`{"benchmarks":["mcf","galgel"],"policy":"icount"}`); rec.Code != http.StatusOK {
+		t.Fatalf("run status %d: %s", rec.Code, rec.Body)
+	}
+
+	rec := get(t, srv, "/metrics?format=prometheus")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("scrape status %d", rec.Code)
+	}
+	samples, help, typed := promSamples(t, rec.Body.String())
+
+	// Every sample belongs to a family with HELP and TYPE preambles.
+	for name := range samples {
+		family := name
+		if i := strings.IndexByte(family, '{'); i >= 0 {
+			family = family[:i]
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(family, suffix); ok && typed[base] {
+				family = base
+				break
+			}
+		}
+		if !help[family] || !typed[family] {
+			t.Errorf("sample %s has no HELP/TYPE preamble for %s", name, family)
+		}
+	}
+
+	// Spot-check the counter families the JSON body also reports.
+	if samples["smtmlp_server_requests_total"] < 1 {
+		t.Fatalf("smtmlp_server_requests_total = %v after a run", samples["smtmlp_server_requests_total"])
+	}
+	if samples["smtmlp_engine_cache_entries"] < 1 {
+		t.Fatalf("smtmlp_engine_cache_entries = %v after a run", samples["smtmlp_engine_cache_entries"])
+	}
+
+	// Every latency histogram is a complete triplet with consistent buckets.
+	for _, h := range []string{
+		"smtmlp_run_duration_seconds",
+		"smtmlp_batch_stream_duration_seconds",
+		"smtmlp_lease_lifetime_seconds",
+		"smtmlp_tenant_queue_wait_seconds",
+	} {
+		count, ok := samples[h+"_count"]
+		if !ok {
+			t.Fatalf("histogram %s has no _count sample", h)
+		}
+		if _, ok := samples[h+"_sum"]; !ok {
+			t.Fatalf("histogram %s has no _sum sample", h)
+		}
+		inf, ok := samples[h+`_bucket{le="+Inf"}`]
+		if !ok {
+			t.Fatalf("histogram %s has no +Inf bucket", h)
+		}
+		if inf != count {
+			t.Fatalf("histogram %s: +Inf bucket %v != count %v", h, inf, count)
+		}
+		buckets := 0
+		for name := range samples {
+			if strings.HasPrefix(name, h+"_bucket{") {
+				buckets++
+			}
+		}
+		if buckets != 17 { // 16 finite bounds + +Inf
+			t.Fatalf("histogram %s has %d bucket samples, want 17", h, buckets)
+		}
+	}
+	if samples["smtmlp_run_duration_seconds_count"] < 1 {
+		t.Fatal("run-latency histogram observed nothing after a /v1/run")
+	}
+}
+
+// TestRunTraceInterval opts a /v1/run into interval traces and pins the
+// contract: per-thread samples on threads[].intervals, on-boundary cycles,
+// byte determinism across repeats, an identical simulated outcome with the
+// knob off, and a 400 for a negative interval.
+func TestRunTraceInterval(t *testing.T) {
+	srv := server.New(testEngine())
+
+	body := `{"benchmarks":["mcf","galgel"],"policy":"mlpflush","trace_interval":200}`
+	traced := post(t, srv, "/v1/run", body)
+	var res smtmlp.WorkloadResult
+	decodeInto(t, traced, &res)
+	if len(res.Threads) != 2 {
+		t.Fatalf("threads %d", len(res.Threads))
+	}
+	for i, th := range res.Threads {
+		if len(th.Intervals) == 0 {
+			t.Fatalf("thread %d has no interval samples", i)
+		}
+		prev := int64(0)
+		for _, s := range th.Intervals {
+			if s.Cycle <= prev {
+				t.Fatalf("thread %d: non-increasing sample cycle %d after %d", i, s.Cycle, prev)
+			}
+			prev = s.Cycle
+		}
+	}
+
+	// Byte determinism: the same traced request twice is identical.
+	if again := post(t, srv, "/v1/run", body); !bytes.Equal(traced.Body.Bytes(), again.Body.Bytes()) {
+		t.Fatal("traced run is not byte-deterministic across repeats")
+	}
+
+	// Tracing never perturbs the simulation: the untraced run agrees exactly.
+	var plain smtmlp.WorkloadResult
+	decodeInto(t, post(t, srv, "/v1/run",
+		`{"benchmarks":["mcf","galgel"],"policy":"mlpflush"}`), &plain)
+	if plain.Cycles != res.Cycles || plain.STP != res.STP {
+		t.Fatalf("tracing changed the outcome: cycles %d vs %d", res.Cycles, plain.Cycles)
+	}
+	if len(plain.Threads[0].Intervals) != 0 {
+		t.Fatal("untraced run carries interval samples")
+	}
+
+	wantError(t, post(t, srv, "/v1/run",
+		`{"benchmarks":["mcf"],"policy":"icount","trace_interval":-1}`),
+		http.StatusBadRequest, server.CodeInvalidRequest)
+}
+
+// TestBatchTraceInterval pins interval traces on the NDJSON stream: every
+// result line of a traced batch carries its threads' samples.
+func TestBatchTraceInterval(t *testing.T) {
+	srv := server.New(testEngine())
+	rec := post(t, srv, "/v1/batch",
+		`{"workloads":[["mcf","galgel"],["swim","twolf"]],"policies":["icount"],"trace_interval":250}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	lines := readBatchLines(t, rec.Body.Bytes())
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	for _, br := range lines {
+		if br.Err != nil {
+			t.Fatalf("%s failed: %v", br.Request.Tag, br.Err)
+		}
+		for i, th := range br.Result.Threads {
+			if len(th.Intervals) == 0 {
+				t.Fatalf("%s thread %d has no interval samples", br.Request.Tag, i)
+			}
+		}
+	}
+
+	wantError(t, post(t, srv, "/v1/batch",
+		`{"workloads":[["mcf"]],"policies":["icount"],"trace_interval":-5}`),
+		http.StatusBadRequest, server.CodeInvalidRequest)
+}
+
+// TestRunLatencyInJSONMetrics pins the latency summary block of the JSON
+// /metrics body: the run histogram counts runs and accumulates their time.
+func TestRunLatencyInJSONMetrics(t *testing.T) {
+	srv := server.New(testEngine())
+	for i := 0; i < 2; i++ {
+		if rec := post(t, srv, "/v1/run",
+			`{"benchmarks":["mcf","galgel"],"policy":"icount"}`); rec.Code != http.StatusOK {
+			t.Fatalf("run %d status %d", i, rec.Code)
+		}
+	}
+	var m server.MetricsResponse
+	decodeInto(t, get(t, srv, "/metrics"), &m)
+	if m.Latency.Run.Count != 2 {
+		t.Fatalf("run latency count %d, want 2", m.Latency.Run.Count)
+	}
+	if m.Latency.Run.SumSeconds <= 0 {
+		t.Fatalf("run latency sum %v, want > 0", m.Latency.Run.SumSeconds)
+	}
+}

@@ -1,0 +1,152 @@
+// Prometheus text exposition (format version 0.0.4) of the /metrics body.
+// The JSON body stays the default; GET /metrics?format=prometheus renders
+// the same counters and gauges — plus the full bucket vectors of the latency
+// histograms, which the JSON body only summarizes — for any Prometheus-
+// compatible scraper. Dependency-free by design: the format is plain text
+// and the renderer is ~a page of fmt.Fprintf.
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"smtmlp/internal/metrics"
+)
+
+// promContentType is the Prometheus text exposition content type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promWriter accumulates exposition lines; its methods emit the HELP/TYPE
+// header once per metric family followed by the sample lines.
+type promWriter struct {
+	w io.Writer
+}
+
+// family writes the # HELP / # TYPE preamble.
+func (p promWriter) family(name, typ, help string) {
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// sample writes one un-labeled sample line.
+func (p promWriter) sample(name string, value float64) {
+	fmt.Fprintf(p.w, "%s %s\n", name, formatPromValue(value))
+}
+
+// labeled writes one sample line with a single label.
+func (p promWriter) labeled(name, label, labelValue string, value float64) {
+	fmt.Fprintf(p.w, "%s{%s=%q} %s\n", name, label, escapePromLabel(labelValue), formatPromValue(value))
+}
+
+// counter and gauge emit a complete single-sample family.
+func (p promWriter) counter(name, help string, value int64) {
+	p.family(name, "counter", help)
+	p.sample(name, float64(value))
+}
+
+func (p promWriter) gauge(name, help string, value float64) {
+	p.family(name, "gauge", help)
+	p.sample(name, value)
+}
+
+// histogram emits a full histogram family: cumulative buckets (with the
+// mandatory +Inf bucket equal to _count), _sum and _count.
+func (p promWriter) histogram(name, help string, s metrics.HistogramSnapshot) {
+	p.family(name, "histogram", help)
+	for i, ub := range metrics.HistogramBuckets {
+		fmt.Fprintf(p.w, "%s_bucket{le=%q} %d\n", name, formatPromValue(ub), s.Buckets[i])
+	}
+	fmt.Fprintf(p.w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(p.w, "%s_sum %s\n", name, formatPromValue(s.SumSeconds))
+	fmt.Fprintf(p.w, "%s_count %d\n", name, s.Count)
+}
+
+// formatPromValue renders a float the exposition-format way: integral values
+// without an exponent, everything else in Go's shortest form.
+func formatPromValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapePromLabel escapes a label value per the exposition format.
+func escapePromLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(s)
+}
+
+// writePrometheus renders the full metrics response as text exposition.
+func writePrometheus(w http.ResponseWriter, resp MetricsResponse) {
+	w.Header().Set("Content-Type", promContentType)
+	p := promWriter{w: w}
+
+	// Engine gauges and cache counters.
+	p.gauge("smtmlp_engine_in_flight", "Simulations executing right now.", float64(resp.Engine.InFlight))
+	p.gauge("smtmlp_engine_queue_depth", "Batch requests accepted but not yet finished.", float64(resp.Engine.QueueDepth))
+	p.gauge("smtmlp_engine_cache_entries", "Reference profiles held in the shared cache.", float64(resp.Engine.CacheEntries))
+	p.counter("smtmlp_engine_cache_hits_total", "Reference cache hits.", int64(resp.Engine.CacheHits))
+	p.counter("smtmlp_engine_cache_misses_total", "Reference cache misses.", int64(resp.Engine.CacheMisses))
+	p.counter("smtmlp_engine_cache_evictions_total", "Reference cache evictions.", int64(resp.Engine.CacheEvictions))
+
+	// Handler-level counters.
+	p.counter("smtmlp_server_requests_total", "HTTP requests received.", resp.Server.RequestsTotal)
+	p.gauge("smtmlp_server_batches_active", "Batch streams in flight.", float64(resp.Server.BatchesActive))
+	p.counter("smtmlp_server_batch_results_streamed_total", "NDJSON batch result lines written.", resp.Server.BatchResultsStreamed)
+	p.counter("smtmlp_server_clients_dropped_total", "Batch clients that disconnected mid-stream.", resp.Server.ClientsDropped)
+	p.counter("smtmlp_server_unauthorized_total", "Requests refused for a missing or unknown API key.", resp.Server.Unauthorized)
+
+	// Work-lease counters (the /v1/work worker protocol).
+	p.counter("smtmlp_work_leases_accepted_total", "Work leases accepted.", resp.Work.LeasesAccepted)
+	p.gauge("smtmlp_work_leases_active", "Work leases currently held.", float64(resp.Work.LeasesActive))
+	p.counter("smtmlp_work_leases_renewed_total", "Lease TTL renewals (idempotent re-deliveries).", resp.Work.LeasesRenewed)
+	p.counter("smtmlp_work_leases_collected_total", "Leases collected by a coordinator.", resp.Work.LeasesCollected)
+	p.counter("smtmlp_work_leases_expired_total", "Leases expired uncollected.", resp.Work.LeasesExpired)
+	p.counter("smtmlp_work_cells_executed_total", "Lease cells executed successfully.", resp.Work.CellsExecuted)
+	p.counter("smtmlp_work_cells_failed_total", "Lease cells that failed deterministically.", resp.Work.CellsFailed)
+	p.counter("smtmlp_work_bytes_in_total", "Decoded /v1/work request bytes.", resp.Work.BytesIn)
+	p.counter("smtmlp_work_bytes_in_wire_total", "On-the-wire /v1/work request bytes (post-compression).", resp.Work.BytesInWire)
+	p.counter("smtmlp_work_bytes_out_total", "Encoded /v1/work response bytes.", resp.Work.BytesOut)
+	p.counter("smtmlp_work_bytes_out_wire_total", "On-the-wire /v1/work response bytes (post-compression).", resp.Work.BytesOutWire)
+
+	// Store gauges, present only on store-backed servers.
+	if st := resp.Store; st != nil {
+		p.gauge("smtmlp_store_results", "Persisted campaign results.", float64(st.Results))
+		p.gauge("smtmlp_store_refs", "Persisted reference profiles.", float64(st.Refs))
+		p.counter("smtmlp_store_appends_total", "Results appended since the store opened.", st.AppendsTotal)
+		p.counter("smtmlp_store_dedupe_hits_total", "Appends absorbed as duplicates.", st.DedupeHits)
+		p.gauge("smtmlp_store_refs_snapshot_age_seconds", "Age of the refs.ndjson snapshot (-1 before the first write).", st.RefsSnapshotAgeSeconds)
+	}
+
+	// Per-tenant rows, one labeled sample per tenant per family.
+	if len(resp.Tenants) > 0 {
+		for _, f := range []struct {
+			name, typ, help string
+			value           func(TenantMetrics) float64
+		}{
+			{"smtmlp_tenant_in_flight", "gauge", "Engine slots held by the tenant.", func(t TenantMetrics) float64 { return float64(t.InFlight) }},
+			{"smtmlp_tenant_queued", "gauge", "Tenant work queued for an engine slot.", func(t TenantMetrics) float64 { return float64(t.Queued) }},
+			{"smtmlp_tenant_cells_in_flight", "gauge", "Admitted but unfinished cells.", func(t TenantMetrics) float64 { return float64(t.CellsInFlight) }},
+			{"smtmlp_tenant_admitted_total", "counter", "Requests past admission.", func(t TenantMetrics) float64 { return float64(t.Admitted) }},
+			{"smtmlp_tenant_rate_limited_total", "counter", "Requests refused rate_limited.", func(t TenantMetrics) float64 { return float64(t.RateLimited) }},
+			{"smtmlp_tenant_quota_denied_total", "counter", "Requests refused quota_exceeded.", func(t TenantMetrics) float64 { return float64(t.QuotaDenied) }},
+			{"smtmlp_tenant_slots_granted_total", "counter", "Engine slots granted by the scheduler.", func(t TenantMetrics) float64 { return float64(t.SlotsGranted) }},
+			{"smtmlp_tenant_queue_wait_seconds_total", "counter", "Total time tenant work waited for a slot.", func(t TenantMetrics) float64 { return float64(t.QueueWaitMillis) / 1000 }},
+			{"smtmlp_tenant_active_campaigns", "gauge", "Running campaigns started by the tenant.", func(t TenantMetrics) float64 { return float64(t.ActiveCampaigns) }},
+			{"smtmlp_tenant_active_leases", "gauge", "Running leases held by the tenant.", func(t TenantMetrics) float64 { return float64(t.ActiveLeases) }},
+		} {
+			p.family(f.name, f.typ, f.help)
+			for _, t := range resp.Tenants {
+				p.labeled(f.name, "tenant", t.Name, f.value(t))
+			}
+		}
+	}
+
+	// Latency histograms.
+	p.histogram("smtmlp_run_duration_seconds", "Engine execution latency of /v1/run.", resp.Latency.Run)
+	p.histogram("smtmlp_batch_stream_duration_seconds", "Duration of /v1/batch NDJSON streams.", resp.Latency.BatchStream)
+	p.histogram("smtmlp_lease_lifetime_seconds", "Work lease lifetime, accept to collection or expiry.", resp.Latency.LeaseLifetime)
+	p.histogram("smtmlp_tenant_queue_wait_seconds", "Per-acquisition slot-scheduler queue wait.", resp.Latency.TenantQueueWait)
+}

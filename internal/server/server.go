@@ -36,12 +36,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"smtmlp"
+	"smtmlp/internal/metrics"
+	"smtmlp/internal/obs"
 	"smtmlp/internal/store"
 	"smtmlp/internal/tenant"
 )
@@ -112,6 +115,15 @@ type Server struct {
 	// simulation cell passes the same tenant scheduler.
 	tenants *tenant.Table
 	gate    smtmlp.SlotGate
+
+	// Observability: the structured logger (obs.Discard() unless WithLogger
+	// installs one; every line carries the request's correlation IDs) and the
+	// latency histograms exposed on /metrics — JSON summaries always,
+	// full buckets under ?format=prometheus.
+	log           *slog.Logger
+	runLatency    metrics.Histogram
+	batchDuration metrics.Histogram
+	leaseLifetime metrics.Histogram
 
 	// Server-level counters for /metrics.
 	requestsTotal  atomic.Int64
@@ -184,6 +196,18 @@ func WithLeaseTTL(d time.Duration) Option {
 	}
 }
 
+// WithLogger installs a structured logger; every handler log line carries
+// the request's correlation IDs (request_id, and lease_id/campaign_id where
+// a lease is in play). The default discards everything, so logging is
+// strictly opt-in and the untenanted fast path stays silent.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) {
+		if l != nil {
+			s.log = l
+		}
+	}
+}
+
 // WithBaseContext sets the lifecycle context for asynchronous campaign
 // execution (campaigns outlive the POST request that started them).
 // Canceling it — e.g. on SIGTERM — cleanly interrupts running campaigns;
@@ -210,6 +234,7 @@ func New(eng *smtmlp.Engine, opts ...Option) *Server {
 		leases:     make(map[string]*workLease),
 		maxLeases:  DefaultMaxLeases,
 		leaseTTL:   DefaultLeaseTTL,
+		log:        obs.Discard(),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -230,16 +255,35 @@ func New(eng *smtmlp.Engine, opts ...Option) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler. With a tenant table installed, /v1
-// requests authenticate here (401 unauthorized otherwise) and carry their
-// resolved tenant in the request context from this point on.
+// ServeHTTP implements http.Handler. Every request is assigned a request ID
+// here — the X-Request-Id header when the caller (e.g. a fleet coordinator)
+// sent one, a fresh random ID otherwise — which is echoed on the response,
+// carried in the request context and attached to every log line the request
+// produces. With a tenant table installed, /v1 requests authenticate here
+// (401 unauthorized otherwise) and carry their resolved tenant in the
+// request context from this point on.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requestsTotal.Add(1)
+	reqID := r.Header.Get(obs.RequestIDHeader)
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set(obs.RequestIDHeader, reqID)
+	r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
 	r, ok := s.resolveTenant(w, r)
 	if !ok {
 		return
 	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// logger returns the server logger bound to the request's correlation IDs.
+func (s *Server) logger(r *http.Request) *slog.Logger {
+	l := s.log.With(obs.KeyRequestID, obs.RequestID(r.Context()))
+	if cid := r.Header.Get(obs.CampaignIDHeader); cid != "" {
+		l = l.With(obs.KeyCampaignID, cid)
+	}
+	return l
 }
 
 // apiError is the typed error body.
@@ -286,6 +330,8 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	// Liveness answers must never be served stale by an intermediary cache.
+	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, map[string]string{"status": "ok"})
 }
 
@@ -300,6 +346,41 @@ type MetricsResponse struct {
 	// Tenants is present only on multi-tenant servers: one row per
 	// configured tenant, sorted by name.
 	Tenants []TenantMetrics `json:"tenants,omitempty"`
+	// Latency summarizes the server's latency histograms (count and sum;
+	// the full bucket vectors are exposed under /metrics?format=prometheus).
+	Latency LatencyMetrics `json:"latency"`
+}
+
+// LatencyMetrics are the /metrics summaries of the latency histograms.
+type LatencyMetrics struct {
+	// Run is the /v1/run engine execution latency; BatchStream the
+	// /v1/batch stream duration (first cell to last NDJSON line);
+	// LeaseLifetime the accept-to-collection (or expiry) lifetime of work
+	// leases; TenantQueueWait the slot-scheduler queue wait (multi-tenant
+	// servers only — zero otherwise).
+	Run             metrics.HistogramSnapshot `json:"run"`
+	BatchStream     metrics.HistogramSnapshot `json:"batch_stream"`
+	LeaseLifetime   metrics.HistogramSnapshot `json:"lease_lifetime"`
+	TenantQueueWait metrics.HistogramSnapshot `json:"tenant_queue_wait"`
+}
+
+// queueWaitHistogram is implemented by slot gates that track queue wait
+// (internal/tenant.Scheduler); other gates report an empty histogram.
+type queueWaitHistogram interface {
+	QueueWaitHistogram() *metrics.Histogram
+}
+
+// latencyMetrics snapshots the four histograms.
+func (s *Server) latencyMetrics() LatencyMetrics {
+	lm := LatencyMetrics{
+		Run:           s.runLatency.Snapshot(),
+		BatchStream:   s.batchDuration.Snapshot(),
+		LeaseLifetime: s.leaseLifetime.Snapshot(),
+	}
+	if g, ok := s.gate.(queueWaitHistogram); ok {
+		lm.TenantQueueWait = g.QueueWaitHistogram().Snapshot()
+	}
+	return lm
 }
 
 // ServerMetrics are the handler-level counters.
@@ -314,7 +395,9 @@ type ServerMetrics struct {
 	Unauthorized int64 `json:"unauthorized,omitempty"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Metrics are a point-in-time reading; a cached answer is a wrong answer.
+	w.Header().Set("Cache-Control", "no-store")
 	resp := MetricsResponse{
 		Engine: s.eng.Metrics(),
 		Server: ServerMetrics{
@@ -326,12 +409,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		},
 		Work:    s.workMetrics(),
 		Tenants: s.tenantMetrics(),
+		Latency: s.latencyMetrics(),
 	}
 	if s.store != nil {
 		m := s.store.Metrics()
 		resp.Store = &m
 	}
-	writeJSON(w, resp)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, resp)
+	case "prometheus":
+		writePrometheus(w, resp)
+	default:
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+			"unknown metrics format %q (want json or prometheus)", format)
+	}
 }
 
 // PoliciesResponse is the /v1/policies body.
@@ -433,6 +525,22 @@ type RunRequest struct {
 	Benchmarks []string    `json:"benchmarks"`
 	Policy     string      `json:"policy"`
 	Config     *ConfigSpec `json:"config,omitempty"`
+	// TraceInterval opts the run into interval traces: one sample per
+	// hardware thread every TraceInterval cycles, returned on the result's
+	// threads[].intervals (a bounded ring keeps the tail of long runs).
+	// 0 (the default) disables tracing; the knob never changes the
+	// simulated outcome or the result's store fingerprint.
+	TraceInterval int64 `json:"trace_interval,omitempty"`
+}
+
+// validateTraceInterval bounds-checks a trace_interval field.
+func validateTraceInterval(w http.ResponseWriter, every int64) bool {
+	if every < 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+			"trace_interval %d is negative; use 0 (off) or a positive cycle count", every)
+		return false
+	}
+	return true
 }
 
 // checkWorkload validates one benchmark list against the catalog and the
@@ -494,6 +602,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "config: %v", err)
 		return
 	}
+	if !validateTraceInterval(w, req.TraceInterval) {
+		return
+	}
 
 	// One interactive cell: admission (rate limit + in-flight quota) here,
 	// slot scheduling downstream in the engine's gate — interactive class
@@ -504,8 +615,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	res, err := s.eng.RunWorkload(ctx, req.Config.config(len(req.Benchmarks)),
-		smtmlp.Mix(req.Benchmarks...), p)
+	wl := smtmlp.Mix(req.Benchmarks...)
+	start := time.Now()
+	res, err := s.eng.RunRequest(ctx, smtmlp.Request{
+		Config:        req.Config.config(len(req.Benchmarks)),
+		Workload:      wl,
+		Policy:        p,
+		TraceInterval: req.TraceInterval,
+	})
+	elapsed := time.Since(start)
+	s.runLatency.Observe(elapsed)
 	switch {
 	case errors.Is(err, smtmlp.ErrWorkloadMismatch):
 		writeError(w, http.StatusBadRequest, CodeInvalidWorkload, "%v", err)
@@ -521,6 +640,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
 		return
 	}
+	s.logger(r).Info("run complete",
+		"workload", wl.Name(), "policy", req.Policy, "elapsed", elapsed)
 	writeJSON(w, res)
 }
 
@@ -533,6 +654,10 @@ type BatchRequest struct {
 	Workloads [][]string  `json:"workloads"`
 	Policies  []string    `json:"policies"`
 	Config    *ConfigSpec `json:"config,omitempty"`
+	// TraceInterval opts every cell of the batch into interval traces (see
+	// RunRequest.TraceInterval); each NDJSON result line then carries its
+	// threads' interval samples. 0 disables.
+	TraceInterval int64 `json:"trace_interval,omitempty"`
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -567,6 +692,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "config: %v", err)
 		return
 	}
+	if !validateTraceInterval(w, req.TraceInterval) {
+		return
+	}
 
 	// Policy-major request order: under one policy every workload needs a
 	// distinct set of single-threaded references, so the first wave of
@@ -577,10 +705,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		for _, benchmarks := range req.Workloads {
 			wl := smtmlp.Mix(benchmarks...)
 			reqs = append(reqs, smtmlp.Request{
-				Tag:      fmt.Sprintf("%s/%s", wl.Name(), p),
-				Config:   req.Config.config(len(benchmarks)),
-				Workload: wl,
-				Policy:   p,
+				Tag:           fmt.Sprintf("%s/%s", wl.Name(), p),
+				Config:        req.Config.config(len(benchmarks)),
+				Workload:      wl,
+				Policy:        p,
+				TraceInterval: req.TraceInterval,
 			})
 		}
 	}
@@ -596,7 +725,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	s.batchesActive.Add(1)
 	defer s.batchesActive.Add(-1)
+	start := time.Now()
 	s.streamBatch(ctx, w, reqs)
+	elapsed := time.Since(start)
+	s.batchDuration.Observe(elapsed)
+	s.logger(r).Info("batch streamed", "cells", len(reqs), "elapsed", elapsed)
 }
 
 // streamBatch runs the batch and streams one NDJSON line per result, in

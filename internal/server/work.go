@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"smtmlp"
+	"smtmlp/internal/obs"
 	"smtmlp/internal/sim"
 	"smtmlp/internal/tenant"
 )
@@ -100,6 +101,10 @@ type LeaseRequest struct {
 // LeaseStatus is the JSON shape of one lease in work responses.
 type LeaseStatus struct {
 	LeaseID string `json:"lease_id"`
+	// RequestID is the correlation ID of the delivery that created the
+	// lease (the coordinator's X-Request-Id, or a server-generated one),
+	// echoed so GET /v1/work and lease logs join on the same value.
+	RequestID string `json:"request_id,omitempty"`
 	// Status is "running", "done", "canceled" (server shutdown) or
 	// "expired" (TTL elapsed before collection).
 	Status   string `json:"status"`
@@ -182,9 +187,11 @@ type WorkMetrics struct {
 
 // workLease is the server-side state of one lease.
 type workLease struct {
-	id     string
-	cells  []WorkCell
-	tenant *tenant.Tenant // lease holder; nil on untenanted servers
+	id        string
+	requestID string    // correlation ID of the delivery that created the lease
+	accepted  time.Time // lease acceptance, the lifetime histogram's origin
+	cells     []WorkCell
+	tenant    *tenant.Tenant // lease holder; nil on untenanted servers
 
 	mu       sync.Mutex
 	status   string // "running", "done", "canceled", "expired"
@@ -215,11 +222,12 @@ func (l *workLease) snapshot() LeaseStatus {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return LeaseStatus{
-		LeaseID:  l.id,
-		Status:   l.status,
-		Total:    len(l.cells),
-		Executed: l.executed,
-		Failed:   l.failed,
+		LeaseID:   l.id,
+		RequestID: l.requestID,
+		Status:    l.status,
+		Total:     len(l.cells),
+		Executed:  l.executed,
+		Failed:    l.failed,
 	}
 }
 
@@ -304,6 +312,7 @@ func (s *Server) handleWorkLease(w http.ResponseWriter, r *http.Request) {
 		existing.renew(ttl)
 		s.mu.Unlock()
 		s.leasesRenewed.Add(1)
+		s.logger(r).Debug("lease renewed", obs.KeyLeaseID, lr.LeaseID, "ttl", ttl)
 		writeJSON(w, existing.snapshot())
 		return
 	}
@@ -392,12 +401,14 @@ func (s *Server) handleWorkLease(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithCancel(baseCtx)
 	lease := &workLease{
-		id:       lr.LeaseID,
-		cells:    lr.Cells,
-		status:   "running",
-		deadline: time.Now().Add(ttl),
-		cancel:   cancel,
-		done:     make(chan struct{}),
+		id:        lr.LeaseID,
+		requestID: obs.RequestID(r.Context()),
+		accepted:  time.Now(),
+		cells:     lr.Cells,
+		status:    "running",
+		deadline:  time.Now().Add(ttl),
+		cancel:    cancel,
+		done:      make(chan struct{}),
 	}
 	if s.tenants != nil {
 		lease.tenant = t
@@ -408,6 +419,8 @@ func (s *Server) handleWorkLease(w http.ResponseWriter, r *http.Request) {
 	s.leaseOrder = append(s.leaseOrder, lr.LeaseID)
 	s.mu.Unlock()
 	s.leasesAccepted.Add(1)
+	s.logger(r).Info("lease accepted",
+		obs.KeyLeaseID, lr.LeaseID, "cells", len(lr.Cells), "ttl", ttl)
 
 	go s.runLease(ctx, lease, eng)
 
@@ -451,6 +464,10 @@ func (s *Server) expireLease(lease *workLease) {
 	lease.mu.Unlock()
 	lease.cancel()
 	s.leasesExpired.Add(1)
+	s.leaseLifetime.Observe(time.Since(lease.accepted))
+	s.log.Warn("lease expired uncollected",
+		obs.KeyLeaseID, lease.id, obs.KeyRequestID, lease.requestID,
+		"lifetime", time.Since(lease.accepted))
 }
 
 // runLease executes the lease's cells through the per-lease engine and
@@ -575,11 +592,12 @@ func (s *Server) handleWorkComplete(w http.ResponseWriter, r *http.Request) {
 
 	lease.mu.Lock()
 	status := LeaseStatus{
-		LeaseID:  lease.id,
-		Status:   lease.status,
-		Total:    len(lease.cells),
-		Executed: lease.executed,
-		Failed:   lease.failed,
+		LeaseID:   lease.id,
+		RequestID: lease.requestID,
+		Status:    lease.status,
+		Total:     len(lease.cells),
+		Executed:  lease.executed,
+		Failed:    lease.failed,
 	}
 	resp := CompleteResponse{Lease: status, WaitMillis: wait.Milliseconds()}
 	if status.Status == "done" {
@@ -593,12 +611,21 @@ func (s *Server) handleWorkComplete(w http.ResponseWriter, r *http.Request) {
 		// if this response is lost on the wire, the coordinator re-leases the
 		// same cells and the store's dedupe-on-append absorbs the repeat.
 		s.mu.Lock()
+		collected := false
 		if _, ok := s.leases[lease.id]; ok {
 			delete(s.leases, lease.id)
 			s.leasesCollected.Add(1)
+			collected = true
 		}
 		s.mu.Unlock()
 		lease.expire.Stop()
+		if collected {
+			lifetime := time.Since(lease.accepted)
+			s.leaseLifetime.Observe(lifetime)
+			s.logger(r).Info("lease collected",
+				obs.KeyLeaseID, lease.id, "executed", status.Executed,
+				"failed", status.Failed, "lifetime", lifetime)
+		}
 	}
 	s.writeCompleteResponse(w, r, resp)
 }

@@ -18,6 +18,9 @@ type BatchRequest struct {
 	Workload bench.Workload
 	Kind     policy.Kind
 	Limiter  core.Limiter
+	// TraceInterval > 0 enables interval tracing for this request alone;
+	// 0 inherits the runner's Params.TraceInterval.
+	TraceInterval int64
 }
 
 // BatchResult pairs a finished request with its outcome. Index is the
@@ -63,7 +66,11 @@ func (r *Runner) RunBatch(ctx context.Context, reqs []BatchRequest) <-chan Batch
 				if err := ctx.Err(); err != nil {
 					br.Err = err
 				} else {
-					br.Res, br.Err = r.RunWorkloadCtx(ctx, req.Config, req.Workload, req.Kind, req.Limiter)
+					every := req.TraceInterval
+					if every == 0 {
+						every = r.Params.TraceInterval
+					}
+					br.Res, br.Err = r.RunWorkloadTracedCtx(ctx, req.Config, req.Workload, req.Kind, req.Limiter, every)
 				}
 				r.queued.Add(-1)
 				out <- br

@@ -43,6 +43,14 @@ type Params struct {
 
 	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
 	Parallelism int
+
+	// TraceInterval, when > 0, enables the core's interval-trace recorder on
+	// single and multiprogram runs: one per-thread sample every TraceInterval
+	// cycles, carried on core.Result.Intervals. Single-threaded reference
+	// runs never trace — their results are cached and persisted under keys
+	// that deliberately exclude this knob, so reference bytes are identical
+	// whether or not a caller asked for traces.
+	TraceInterval int64
 }
 
 // DefaultParams returns the harness defaults.
@@ -204,19 +212,28 @@ func (r *Runner) RunSingleCore(cfg core.Config, benchmark string) (*core.Core, c
 
 // RunSingleCoreCtx is RunSingleCore under a context.
 func (r *Runner) RunSingleCoreCtx(ctx context.Context, cfg core.Config, benchmark string) (*core.Core, core.Result, error) {
+	return r.runSingleCore(ctx, cfg, benchmark, r.Params.TraceInterval)
+}
+
+func (r *Runner) runSingleCore(ctx context.Context, cfg core.Config, benchmark string, traceEvery int64) (*core.Core, core.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, core.Result{}, err
 	}
 	c := core.New(cfg, models([]string{benchmark}), core.ICount{}, nil)
-	res := r.runWarm(c)
+	res := r.runWarm(c, traceEvery)
 	return c, res, nil
 }
 
 // runWarm executes the warm-up phase, resets statistics and runs the
 // measured phase, counting the whole execution as one in-flight simulation.
-func (r *Runner) runWarm(c *core.Core) core.Result {
+// traceEvery > 0 arms the interval recorder before warm-up; the stats reset
+// restarts it, so only measured-phase samples survive.
+func (r *Runner) runWarm(c *core.Core, traceEvery int64) core.Result {
 	r.inFlight.Add(1)
 	defer r.inFlight.Add(-1)
+	if traceEvery > 0 {
+		c.EnableIntervalTrace(traceEvery)
+	}
 	if w := r.Params.warmup(); w > 0 {
 		c.Run(w)
 		c.ResetStats()
@@ -237,7 +254,9 @@ func (r *Runner) STReference(cfg core.Config, benchmark string) *STProfile {
 func (r *Runner) STReferenceCtx(ctx context.Context, cfg core.Config, benchmark string) (*STProfile, error) {
 	key := RefKey(cfg, benchmark, r.Params.Instructions, r.Params.warmup())
 	return r.refs.getOrCompute(ctx, key, func(ctx context.Context) (*STProfile, error) {
-		res, err := r.RunSingleCtx(ctx, cfg, benchmark)
+		// References never trace (traceEvery 0): their bytes are cached and
+		// persisted under keys that exclude the trace knob.
+		_, res, err := r.runSingleCore(ctx, cfg, benchmark, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -268,6 +287,13 @@ func (r *Runner) RunWorkload(cfg core.Config, w bench.Workload, kind policy.Kind
 // ctx is done and propagates cancellation encountered while resolving the
 // single-threaded references.
 func (r *Runner) RunWorkloadCtx(ctx context.Context, cfg core.Config, w bench.Workload, kind policy.Kind, limiter core.Limiter) (WorkloadResult, error) {
+	return r.RunWorkloadTracedCtx(ctx, cfg, w, kind, limiter, r.Params.TraceInterval)
+}
+
+// RunWorkloadTracedCtx is RunWorkloadCtx with an explicit interval-trace
+// setting for this one simulation (0 disables tracing regardless of the
+// runner's Params.TraceInterval).
+func (r *Runner) RunWorkloadTracedCtx(ctx context.Context, cfg core.Config, w bench.Workload, kind policy.Kind, limiter core.Limiter, traceEvery int64) (WorkloadResult, error) {
 	if err := ctx.Err(); err != nil {
 		return WorkloadResult{}, err
 	}
@@ -279,7 +305,7 @@ func (r *Runner) RunWorkloadCtx(ctx context.Context, cfg core.Config, w bench.Wo
 		defer release()
 	}
 	c := core.New(cfg, models(w.Benchmarks), policy.New(kind), limiter)
-	res := r.runWarm(c)
+	res := r.runWarm(c, traceEvery)
 
 	name := kind.String()
 	if limiter != nil {

@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -39,6 +40,7 @@ import (
 	"time"
 
 	"smtmlp"
+	"smtmlp/internal/obs"
 	"smtmlp/internal/sim"
 )
 
@@ -54,6 +56,7 @@ type Record struct {
 // Store is an open result store. See the package comment for the layout.
 type Store struct {
 	dir string
+	log *slog.Logger
 
 	mu      sync.Mutex
 	results *os.File
@@ -80,6 +83,16 @@ const (
 // error. A malformed refs.ndjson is discarded (references are a cache: the
 // cost of losing them is re-simulation, not data loss).
 func Open(dir string) (*Store, error) {
+	return OpenWithLogger(dir, nil)
+}
+
+// OpenWithLogger opens like Open with a structured logger for recovery
+// events — a torn results tail being truncated away is worth an operator's
+// attention even though the store heals it silently. A nil logger discards.
+func OpenWithLogger(dir string, log *slog.Logger) (*Store, error) {
+	if log == nil {
+		log = obs.Discard()
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -89,6 +102,7 @@ func Open(dir string) (*Store, error) {
 	}
 	s := &Store{
 		dir:     dir,
+		log:     log,
 		results: f,
 		index:   make(map[string]int),
 		refs:    make(map[string]sim.RefRecord),
@@ -98,6 +112,7 @@ func Open(dir string) (*Store, error) {
 		return nil, err
 	}
 	s.loadRefs()
+	s.log.Info("store opened", "dir", dir, "results", len(s.records), "refs", len(s.refs))
 	return s, nil
 }
 
@@ -139,6 +154,8 @@ func (s *Store) loadResults() error {
 		if err := s.results.Truncate(int64(good)); err != nil {
 			return fmt.Errorf("store: truncating torn tail: %w", err)
 		}
+		s.log.Warn("truncated torn results tail",
+			"file", resultsFile, "dropped_bytes", len(data)-good)
 	}
 	if _, err := s.results.Seek(0, io.SeekEnd); err != nil {
 		return fmt.Errorf("store: %w", err)

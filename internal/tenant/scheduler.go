@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"smtmlp/internal/metrics"
 )
 
 // DefaultBoost is the DCRA-style share multiplier applied to a tenant with
@@ -48,6 +50,10 @@ type Scheduler struct {
 	free   int
 	seq    uint64
 	queues map[*Tenant]*tenantQueue
+
+	// queueWait records every grant's queue delay (all tenants pooled) for
+	// the /metrics latency histograms.
+	queueWait metrics.Histogram
 }
 
 // tenantQueue is one tenant's scheduler state: held slots and the two
@@ -134,7 +140,9 @@ func (s *Scheduler) Acquire(ctx context.Context) (func(), error) {
 
 	t.state.queued.Add(-1)
 	t.state.granted.Add(1)
-	t.state.queueWaitNS.Add(int64(time.Since(w.enqueued)))
+	wait := time.Since(w.enqueued)
+	t.state.queueWaitNS.Add(int64(wait))
+	s.queueWait.Observe(wait)
 	t.state.inFlight.Add(1)
 	var once sync.Once
 	return func() {
@@ -232,6 +240,10 @@ func (q *tenantQueue) remove(w *waiter) {
 		}
 	}
 }
+
+// QueueWaitHistogram exposes the scheduler's pooled queue-wait histogram;
+// the server renders it on /metrics.
+func (s *Scheduler) QueueWaitHistogram() *metrics.Histogram { return &s.queueWait }
 
 // Queued reports the number of parked waiters (all tenants), a test and
 // metrics aid.

@@ -308,6 +308,23 @@ func WithSlotGate(g SlotGate) Option {
 	return func(o *engineOptions) { o.gate = g }
 }
 
+// WithIntervalTrace enables the interval-trace recorder for every simulation
+// the engine runs: one per-thread IntervalSample every `every` cycles,
+// carried on SingleResult.Intervals and ThreadResult.Intervals. Zero (the
+// default) disables tracing, at zero cost on the simulator's hot path.
+// Traces are observations only — enabling them changes no simulated outcome,
+// and repeated runs of the same request produce byte-identical traces.
+// Single-threaded reference profiles (the CPI_ST inputs to STP/ANTT) never
+// carry traces regardless of this option, so cached and persisted references
+// stay byte-identical across engines with different trace settings.
+func WithIntervalTrace(every int64) Option {
+	return func(o *engineOptions) {
+		if every > 0 {
+			o.params.TraceInterval = every
+		}
+	}
+}
+
 // WithProgress installs a callback invoked after each completed batch
 // request with (completed, total). Within one RunBatch the calls are
 // sequential (from that batch's collector goroutine), but concurrent
@@ -378,6 +395,34 @@ func (e *Engine) Metrics() EngineMetrics {
 	return m
 }
 
+// IntervalSample is one interval-trace observation for one thread: counter
+// deltas over the interval plus instantaneous pipeline state at the interval
+// boundary. Traces are opt-in (WithIntervalTrace or Request.TraceInterval)
+// and byte-deterministic; the recorder retains at most the last 512 samples
+// per thread, so payloads stay bounded for any run length.
+type IntervalSample struct {
+	// Cycle is the interval-end cycle, relative to the measurement start.
+	Cycle int64 `json:"cycle"`
+	// Committed is the number of instructions committed in the interval.
+	Committed uint64 `json:"committed"`
+	// Fetched is the number of fetch slots granted in the interval.
+	Fetched uint64 `json:"fetched"`
+	// L2Misses counts demand loads serviced beyond the L2 in the interval.
+	L2Misses uint64 `json:"l2_misses"`
+	// LLLs counts long-latency loads issued in the interval.
+	LLLs uint64 `json:"llls"`
+	// Flushes counts policy-triggered flushes in the interval.
+	Flushes uint64 `json:"flushes"`
+	// ROBOcc is the thread's ROB occupancy at the boundary.
+	ROBOcc int `json:"rob_occ"`
+	// MLP is the thread's outstanding long-latency load count at the
+	// boundary (the instantaneous memory-level parallelism signal).
+	MLP int `json:"mlp"`
+	// Gated reports whether the fetch policy was gating the thread at the
+	// boundary (the per-interval policy decision).
+	Gated bool `json:"gated,omitempty"`
+}
+
 // SingleResult reports a single-threaded run. The JSON tags are the wire
 // format served over HTTP (cmd/smtserved); renaming a tag is a breaking API
 // change and is pinned by the wire-schema golden test.
@@ -388,6 +433,9 @@ type SingleResult struct {
 	LLLPer1K             float64 `json:"lll_per_1k"` // long-latency loads per 1K instructions
 	MLP                  float64 `json:"mlp"`        // Chou et al. MLP
 	BranchMispredictRate float64 `json:"branch_mispredict_rate"`
+	// Intervals is the run's interval trace (absent unless tracing was
+	// enabled, see WithIntervalTrace).
+	Intervals []IntervalSample `json:"intervals,omitempty"`
 }
 
 // ThreadResult reports one thread of a multiprogrammed run.
@@ -400,6 +448,31 @@ type ThreadResult struct {
 	Flushes   uint64  `json:"flushes"`
 	CPIST     float64 `json:"cpi_st"` // single-threaded CPI at the same instruction count
 	CPIMT     float64 `json:"cpi_mt"` // multithreaded CPI in this run
+	// Intervals is the thread's interval trace (absent unless tracing was
+	// enabled, see WithIntervalTrace and Request.TraceInterval).
+	Intervals []IntervalSample `json:"intervals,omitempty"`
+}
+
+// intervalSamples converts the kernel's interval samples to the wire shape.
+func intervalSamples(in []core.IntervalSample) []IntervalSample {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]IntervalSample, len(in))
+	for i, s := range in {
+		out[i] = IntervalSample{
+			Cycle:     s.Cycle,
+			Committed: s.Committed,
+			Fetched:   s.Fetched,
+			L2Misses:  s.L2Misses,
+			LLLs:      s.LLLs,
+			Flushes:   s.Flushes,
+			ROBOcc:    s.ROBOcc,
+			MLP:       s.MLP,
+			Gated:     s.Gated,
+		}
+	}
+	return out
 }
 
 // WorkloadResult reports a multiprogrammed run with the paper's system-level
@@ -422,14 +495,18 @@ func (e *Engine) RunSingle(ctx context.Context, cfg Config, benchmark string) (S
 	if err != nil {
 		return SingleResult{}, wrapErr(err)
 	}
-	return SingleResult{
+	out := SingleResult{
 		IPC:                  res.IPC[0],
 		Cycles:               res.Cycles,
 		Instructions:         res.Committed[0],
 		LLLPer1K:             res.LLLPer1K[0],
 		MLP:                  res.MLP[0],
 		BranchMispredictRate: res.BranchMispredictRate[0],
-	}, nil
+	}
+	if len(res.Intervals) > 0 {
+		out.Intervals = intervalSamples(res.Intervals[0])
+	}
+	return out, nil
 }
 
 // RunWorkload simulates a multiprogrammed workload under the given fetch
@@ -447,6 +524,26 @@ func (e *Engine) RunWorkload(ctx context.Context, cfg Config, w Workload, p Poli
 	return workloadResult(w, res), nil
 }
 
+// RunRequest executes one Request — configuration, workload, policy and
+// optional per-request TraceInterval — and returns its result. It is
+// RunWorkload with the Request's trace knob honored (a zero TraceInterval
+// inherits the engine's WithIntervalTrace setting); the HTTP service's
+// /v1/run maps onto it.
+func (e *Engine) RunRequest(ctx context.Context, req Request) (WorkloadResult, error) {
+	if err := checkWorkload(req.Config, req.Workload.Benchmarks); err != nil {
+		return WorkloadResult{}, err
+	}
+	every := req.TraceInterval
+	if every == 0 {
+		every = e.runner.Params.TraceInterval
+	}
+	res, err := e.runner.RunWorkloadTracedCtx(ctx, req.Config, req.Workload, req.Policy, nil, every)
+	if err != nil {
+		return WorkloadResult{}, wrapErr(err)
+	}
+	return workloadResult(req.Workload, res), nil
+}
+
 // workloadResult converts an internal workload result to the public shape.
 func workloadResult(w Workload, res sim.WorkloadResult) WorkloadResult {
 	out := WorkloadResult{
@@ -456,7 +553,7 @@ func workloadResult(w Workload, res sim.WorkloadResult) WorkloadResult {
 		ANTT:   res.ANTT,
 	}
 	for i, b := range w.Benchmarks {
-		out.Threads = append(out.Threads, ThreadResult{
+		tr := ThreadResult{
 			Benchmark: b,
 			IPC:       res.Result.IPC[i],
 			Committed: res.Result.Committed[i],
@@ -465,7 +562,11 @@ func workloadResult(w Workload, res sim.WorkloadResult) WorkloadResult {
 			Flushes:   res.Result.Flushes[i],
 			CPIST:     res.PerThread[i].CPIST,
 			CPIMT:     res.PerThread[i].CPIMT,
-		})
+		}
+		if i < len(res.Result.Intervals) {
+			tr.Intervals = intervalSamples(res.Result.Intervals[i])
+		}
+		out.Threads = append(out.Threads, tr)
 	}
 	return out
 }
@@ -479,6 +580,11 @@ type Request struct {
 	Config   Config   `json:"config"`
 	Workload Workload `json:"workload"`
 	Policy   Policy   `json:"policy"`
+	// TraceInterval > 0 enables interval tracing for this request alone
+	// (one sample every TraceInterval cycles); 0 inherits the engine's
+	// WithIntervalTrace setting. Like Tag it is deliberately excluded from
+	// Fingerprint: traces observe a simulation, they do not change it.
+	TraceInterval int64 `json:"trace_interval,omitempty"`
 }
 
 // BatchResult pairs a finished Request with its outcome. Index is the
@@ -573,10 +679,11 @@ func (e *Engine) RunBatch(ctx context.Context, reqs []Request) <-chan BatchResul
 			continue
 		}
 		simReqs = append(simReqs, sim.BatchRequest{
-			Tag:      req.Tag,
-			Config:   req.Config,
-			Workload: req.Workload,
-			Kind:     req.Policy,
+			Tag:           req.Tag,
+			Config:        req.Config,
+			Workload:      req.Workload,
+			Kind:          req.Policy,
+			TraceInterval: req.TraceInterval,
 		})
 		simIdx = append(simIdx, i)
 	}

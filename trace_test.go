@@ -1,0 +1,138 @@
+package smtmlp
+
+// Interval-trace contract tests: traces are opt-in observations that (a) are
+// byte-deterministic across repeated and cache-warm runs, (b) never change
+// the simulated outcome, and (c) can be requested per Request without
+// touching the fingerprint that keys the persistent store.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func traceEngine(opts ...Option) *Engine {
+	base := []Option{WithInstructions(6_000), WithWarmup(1_500)}
+	return NewEngine(append(base, opts...)...)
+}
+
+func TestIntervalTraceDeterminismGolden(t *testing.T) {
+	ctx := context.Background()
+	eng := traceEngine(WithIntervalTrace(500))
+	cfg := DefaultConfig(2)
+	w := Mix("mcf", "galgel")
+
+	cold, err := eng.RunWorkload(ctx, cfg, w, MLPFlush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := eng.RunWorkload(ctx, cfg, w, MLPFlush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldJSON, _ := json.Marshal(cold)
+	warmJSON, _ := json.Marshal(warm)
+	if !bytes.Equal(coldJSON, warmJSON) {
+		t.Fatalf("traced results drifted between cold and warm runs:\ncold: %s\nwarm: %s", coldJSON, warmJSON)
+	}
+
+	// A fresh engine (cold reference cache) must reproduce the same bytes.
+	again, err := traceEngine(WithIntervalTrace(500)).RunWorkload(ctx, cfg, w, MLPFlush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	againJSON, _ := json.Marshal(again)
+	if !bytes.Equal(coldJSON, againJSON) {
+		t.Fatalf("traced results differ across engines:\nfirst: %s\nsecond: %s", coldJSON, againJSON)
+	}
+
+	for ti, th := range cold.Threads {
+		if len(th.Intervals) == 0 {
+			t.Fatalf("thread %d has no interval samples", ti)
+		}
+		var committed uint64
+		nextAt := int64(500)
+		for i, s := range th.Intervals {
+			// Idle-skipped cycles can push a sample past its boundary, but
+			// each sample fires at or after the next 500-cycle boundary past
+			// the previous one.
+			if s.Cycle < nextAt {
+				t.Fatalf("thread %d sample %d: cycle %d fired before boundary %d", ti, i, s.Cycle, nextAt)
+			}
+			nextAt = (s.Cycle/500 + 1) * 500
+			committed += s.Committed
+		}
+		if committed > th.Committed {
+			t.Fatalf("thread %d: interval committed sum %d exceeds total %d", ti, committed, th.Committed)
+		}
+	}
+}
+
+func TestIntervalTraceDoesNotChangeResults(t *testing.T) {
+	ctx := context.Background()
+	cfg := DefaultConfig(2)
+	w := Mix("mcf", "swim")
+
+	plain, err := traceEngine().RunWorkload(ctx, cfg, w, Flush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := traceEngine(WithIntervalTrace(250)).RunWorkload(ctx, cfg, w, Flush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := traced
+	stripped.Threads = append([]ThreadResult(nil), traced.Threads...)
+	for i := range stripped.Threads {
+		if len(stripped.Threads[i].Intervals) == 0 {
+			t.Fatalf("thread %d missing intervals on the traced run", i)
+		}
+		stripped.Threads[i].Intervals = nil
+	}
+	a, _ := json.Marshal(plain)
+	b, _ := json.Marshal(stripped)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("tracing changed the simulation outcome:\nplain:  %s\ntraced: %s", a, b)
+	}
+}
+
+func TestIntervalTracePerRequest(t *testing.T) {
+	ctx := context.Background()
+	eng := traceEngine()
+	cfg := DefaultConfig(2)
+	reqs := []Request{
+		{Tag: "traced", Config: cfg, Workload: Mix("mcf", "galgel"), Policy: ICount, TraceInterval: 500},
+		{Tag: "plain", Config: cfg, Workload: Mix("mcf", "galgel"), Policy: ICount},
+	}
+	// The trace knob must not alter the store fingerprint: both requests are
+	// the same simulation.
+	if fa, fb := eng.Fingerprint(reqs[0]), eng.Fingerprint(reqs[1]); fa != fb {
+		t.Fatalf("TraceInterval leaked into the fingerprint: %q vs %q", fa, fb)
+	}
+	byTag := map[string]BatchResult{}
+	for br := range eng.RunBatch(ctx, reqs) {
+		if br.Err != nil {
+			t.Fatalf("%s: %v", br.Request.Tag, br.Err)
+		}
+		byTag[br.Request.Tag] = br
+	}
+	if n := len(byTag["traced"].Result.Threads[0].Intervals); n == 0 {
+		t.Fatal("traced request has no interval samples")
+	}
+	for i, th := range byTag["plain"].Result.Threads {
+		if len(th.Intervals) != 0 {
+			t.Fatalf("untraced request thread %d unexpectedly has %d samples", i, len(th.Intervals))
+		}
+	}
+	// RunRequest honors the per-request knob the same way.
+	single, err := eng.RunRequest(ctx, reqs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(single)
+	b, _ := json.Marshal(byTag["traced"].Result)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("RunRequest and RunBatch disagree for the same request:\n%s\n%s", a, b)
+	}
+}

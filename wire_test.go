@@ -28,16 +28,24 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
 func wireSample() any {
 	wl := Mix("mcf", "galgel")
 	req := Request{
-		Tag:      "mcf-galgel/mlpflush",
-		Config:   DefaultConfig(2),
-		Workload: wl,
-		Policy:   MLPFlush,
+		Tag:           "mcf-galgel/mlpflush",
+		Config:        DefaultConfig(2),
+		Workload:      wl,
+		Policy:        MLPFlush,
+		TraceInterval: 1000,
+	}
+	samples := []IntervalSample{
+		{Cycle: 1000, Committed: 800, Fetched: 1200, L2Misses: 4, LLLs: 2,
+			Flushes: 1, ROBOcc: 96, MLP: 3, Gated: true},
+		{Cycle: 2000, Committed: 1100, Fetched: 1500, L2Misses: 0, LLLs: 0,
+			Flushes: 0, ROBOcc: 12, MLP: 0},
 	}
 	res := WorkloadResult{
 		Policy: "mlpflush",
 		Threads: []ThreadResult{
 			{Benchmark: "mcf", IPC: 0.5, Committed: 10000, LLLPer1K: 17.25,
-				MLP: 5.125, Flushes: 12, CPIST: 2.5, CPIMT: 4.25},
+				MLP: 5.125, Flushes: 12, CPIST: 2.5, CPIMT: 4.25,
+				Intervals: samples},
 			{Benchmark: "galgel", IPC: 1.25, Committed: 20000, LLLPer1K: 0.25,
 				MLP: 3.75, Flushes: 3, CPIST: 0.75, CPIMT: 1.5},
 		},
@@ -56,7 +64,8 @@ func wireSample() any {
 		BatchResultOK:  BatchResult{Index: 3, Request: req, Result: res},
 		BatchResultErr: BatchResult{Index: 4, Request: req, Err: errors.New(`smtmlp: unknown benchmark: "nope"`)},
 		SingleResult: SingleResult{IPC: 1.5, Cycles: 20000, Instructions: 30000,
-			LLLPer1K: 2.25, MLP: 4.5, BranchMispredictRate: 0.03125},
+			LLLPer1K: 2.25, MLP: 4.5, BranchMispredictRate: 0.03125,
+			Intervals: samples[:1]},
 		EngineMetrics: EngineMetrics{InFlight: 2, QueueDepth: 7, CacheEntries: 5,
 			CacheHits: 40, CacheMisses: 5, CacheEvictions: 1},
 	}
